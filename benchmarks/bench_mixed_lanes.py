@@ -1,0 +1,53 @@
+"""Mixed lanes vs dedicated turning lanes (paper future work, Sec. IV-Q4).
+
+The paper assumes dedicated turning lanes and notes that mixed lanes
+(shared FIFOs with head-of-line blocking) would need a different
+algorithm.  This bench quantifies the assumption: identical demand and
+controller, lanes dedicated vs mixed — HOL blocking must cost
+throughput and queuing time.
+"""
+
+import pytest
+
+from repro.control.factory import make_network_controller
+from repro.experiments.patterns import TURNING
+from repro.experiments.scenario import build_scenario
+from repro.meso.simulator import MesoSimulator
+
+DURATION = 1200
+
+
+def _run(lane_policy):
+    scenario = build_scenario("I", seed=1)
+    sim = MesoSimulator(
+        scenario.network,
+        scenario.demand,
+        scenario.turning,
+        seed=scenario.seed,
+        lane_policy=lane_policy,
+    )
+    controller = make_network_controller("util-bp", scenario.network)
+    for _ in range(DURATION):
+        sim.step(1.0, controller.decide(sim.observations()))
+    sim.finalize()
+    return sim.collector.summary(float(DURATION))
+
+
+def _run_both():
+    return _run("dedicated"), _run("mixed")
+
+
+def test_mixed_lanes_hol_blocking_costs(benchmark):
+    dedicated, mixed = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+    print()
+    print(
+        f"dedicated lanes: avg queuing {dedicated.average_queuing_time:.1f}s, "
+        f"trips {dedicated.vehicles_left}"
+    )
+    print(
+        f"mixed lane:      avg queuing {mixed.average_queuing_time:.1f}s, "
+        f"trips {mixed.vehicles_left}"
+    )
+    # Head-of-line blocking must hurt: longer queuing, fewer trips.
+    assert mixed.average_queuing_time > dedicated.average_queuing_time
+    assert mixed.vehicles_left <= dedicated.vehicles_left

@@ -1,0 +1,75 @@
+"""Beyond the paper: a rush-hour scenario with time-varying demand.
+
+Builds the 3x3 network with a morning-rush profile — light traffic
+that surges from the north and east for twenty minutes and then
+relaxes — and compares UTIL-BP against CAP-BP at a period tuned for
+the *average* load.  Fixed-period control cannot retune as the surge
+arrives; the adaptive controller reacts per mini-slot.
+
+Run:  python examples/rush_hour.py
+"""
+
+from repro.experiments import TURNING, run_scenario
+from repro.experiments.scenario import Scenario
+from repro.model.arrivals import ArrivalSchedule
+from repro.model.geometry import Direction
+from repro.model.grid import build_grid_network
+
+#: (start_time, rate) profiles per entry side: a 20-minute surge.
+RUSH_PROFILE = {
+    Direction.N: [(0, 1 / 9), (600, 1 / 3), (1800, 1 / 9)],
+    Direction.E: [(0, 1 / 9), (600, 1 / 4), (1800, 1 / 9)],
+    Direction.S: [(0, 1 / 9)],
+    Direction.W: [(0, 1 / 9)],
+}
+
+DURATION = 2700.0
+
+
+def build_rush_hour_scenario(seed: int = 3) -> Scenario:
+    network = build_grid_network(3, 3)
+    demand = {}
+    for road_id in network.entry_roads():
+        side = Direction(road_id[3])  # "IN:N@J01" -> N
+        demand[road_id] = ArrivalSchedule.piecewise(RUSH_PROFILE[side])
+    return Scenario(
+        name="rush-hour",
+        network=network,
+        demand=demand,
+        turning=TURNING,
+        seed=seed,
+        default_duration=DURATION,
+    )
+
+
+def main() -> None:
+    results = {}
+    for name, params in (
+        ("util-bp", {}),
+        ("cap-bp", {"period": 16.0}),
+        ("fixed-time", {"period": 16.0}),
+    ):
+        result = run_scenario(
+            build_rush_hour_scenario(),
+            controller=name,
+            controller_params=params,
+            duration=DURATION,
+            engine="meso",
+        )
+        results[name] = result
+        print(
+            f"{name:12s} avg queuing {result.average_queuing_time:7.2f} s   "
+            f"amber share {result.network_utilization().amber_share:.3f}   "
+            f"trips {result.summary.vehicles_left}"
+        )
+
+    util = results["util-bp"].average_queuing_time
+    cap = results["cap-bp"].average_queuing_time
+    print(
+        f"\nUTIL-BP handles the surge "
+        f"{(cap - util) / cap * 100:.1f}% better than the tuned CAP-BP."
+    )
+
+
+if __name__ == "__main__":
+    main()

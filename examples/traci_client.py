@@ -1,0 +1,51 @@
+"""Writing a controller as a TraCI client.
+
+Shows the CPS boundary explicitly: the control loop only reads sensors
+(queue observations) and writes actuators (phases) through the
+TraCI-style session — exactly how the paper's controllers would attach
+to SUMO.  The controller here is the paper's Algorithm 1, driven
+manually rather than via the experiment runner.
+
+Run:  python examples/traci_client.py
+"""
+
+from repro.core.config import UtilBpConfig
+from repro.core.util_bp import UtilBpController
+from repro.experiments import build_scenario
+from repro.traci import TraciSession
+
+
+def main() -> None:
+    scenario = build_scenario("I", seed=11)
+    session = TraciSession(scenario, engine="meso", step_length=1.0)
+
+    # One decentralized controller per traffic light, as in the paper.
+    controllers = {
+        node_id: UtilBpController(intersection, UtilBpConfig())
+        for node_id, intersection in scenario.network.intersections.items()
+    }
+    for node_id in controllers:
+        session.subscribeJunction(node_id)
+
+    horizon = 900
+    for step in range(horizon):
+        observations = session.getSubscriptionResults()
+        for node_id, controller in controllers.items():
+            session.setPhase(node_id, controller.decide(observations[node_id]))
+        session.simulationStep()
+        if (step + 1) % 300 == 0:
+            queue = sum(
+                sum(obs.movement_queues.values())
+                for obs in observations.values()
+            )
+            print(
+                f"t={session.getTime():6.0f}s  vehicles queued at stop "
+                f"lines: {queue}"
+            )
+
+    summary = session.close()
+    print(f"\nfinal: {summary}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All project metadata lives in ``pyproject.toml``.  This file exists so
+that editable installs work on environments whose setuptools lacks PEP
+660 support (no ``wheel`` package available offline):
+``pip install -e . --no-build-isolation`` falls back to it.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run        one scenario under one controller, print the summary
+table3     reproduce Table III
+fig2       reproduce Fig. 2 (period sweep)
+fig34      reproduce Figs. 3-4 (phase traces)
+fig5       reproduce Fig. 5 (queue trace)
+ablations  run a named ablation study
+stability  demand-scale stability sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.control.factory import CONTROLLER_NAMES
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'CPS-oriented Modeling and Control of Traffic "
+            "Signals Using Adaptive Back Pressure' (DATE 2020)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one scenario/controller")
+    run.add_argument("--pattern", default="I")
+    run.add_argument("--controller", choices=CONTROLLER_NAMES, default="util-bp")
+    run.add_argument("--period", type=float, default=None,
+                     help="control period for fixed-slot controllers")
+    run.add_argument("--engine", choices=("meso", "micro"), default="meso")
+    run.add_argument("--duration", type=float, default=1800.0)
+    run.add_argument("--seed", type=int, default=1)
+
+    table3 = sub.add_parser("table3", help="reproduce Table III")
+    table3.add_argument("--engine", choices=("meso", "micro"), default="meso")
+    table3.add_argument("--scale", type=float, default=1.0)
+    table3.add_argument("--seed", type=int, default=1)
+
+    fig2 = sub.add_parser("fig2", help="reproduce Fig. 2")
+    fig2.add_argument("--engine", choices=("meso", "micro"), default="meso")
+    fig2.add_argument("--segment", type=float, default=3600.0)
+    fig2.add_argument("--seed", type=int, default=1)
+
+    fig34 = sub.add_parser("fig34", help="reproduce Figs. 3-4")
+    fig34.add_argument("--engine", choices=("meso", "micro"), default="micro")
+    fig34.add_argument("--duration", type=float, default=2000.0)
+    fig34.add_argument("--seed", type=int, default=1)
+
+    fig5 = sub.add_parser("fig5", help="reproduce Fig. 5")
+    fig5.add_argument("--engine", choices=("meso", "micro"), default="micro")
+    fig5.add_argument("--duration", type=float, default=2000.0)
+    fig5.add_argument("--seed", type=int, default=1)
+
+    ablations = sub.add_parser("ablations", help="run an ablation study")
+    ablations.add_argument("study", nargs="?", default=None,
+                           help="study name (default: all)")
+    ablations.add_argument("--duration", type=float, default=1800.0)
+
+    stability = sub.add_parser("stability", help="demand-scale sweep")
+    stability.add_argument("--duration", type=float, default=1200.0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "run":
+        from repro.experiments import build_scenario, run_scenario
+
+        params = {}
+        if args.period is not None:
+            params["period"] = args.period
+        result = run_scenario(
+            build_scenario(args.pattern, seed=args.seed),
+            controller=args.controller,
+            controller_params=params,
+            duration=args.duration,
+            engine=args.engine,
+        )
+        print(result.summary)
+        print(
+            f"average queuing time: {result.average_queuing_time:.2f} s, "
+            f"amber share: {result.network_utilization().amber_share:.3f}"
+        )
+        return 0
+
+    if args.command == "table3":
+        from repro.experiments.table3 import render_table3, run_table3
+
+        rows = run_table3(
+            engine=args.engine, seed=args.seed, duration_scale=args.scale
+        )
+        print(render_table3(rows))
+        return 0
+
+    if args.command == "fig2":
+        from repro.experiments.fig2 import render_fig2, run_fig2
+
+        print(
+            render_fig2(
+                run_fig2(
+                    engine=args.engine,
+                    seed=args.seed,
+                    segment_duration=args.segment,
+                )
+            )
+        )
+        return 0
+
+    if args.command == "fig34":
+        from repro.experiments.fig34 import render_fig34, run_fig34
+
+        print(
+            render_fig34(
+                run_fig34(
+                    engine=args.engine,
+                    duration=args.duration,
+                    seed=args.seed,
+                )
+            )
+        )
+        return 0
+
+    if args.command == "fig5":
+        from repro.experiments.fig5 import render_fig5, run_fig5
+
+        print(
+            render_fig5(
+                run_fig5(
+                    engine=args.engine,
+                    duration=args.duration,
+                    seed=args.seed,
+                )
+            )
+        )
+        return 0
+
+    if args.command == "ablations":
+        from repro.experiments.ablations import (
+            ABLATIONS,
+            render_ablation,
+            run_ablation,
+        )
+
+        studies = [args.study] if args.study else list(ABLATIONS)
+        for study in studies:
+            print(render_ablation(run_ablation(study, duration=args.duration)))
+            print()
+        return 0
+
+    if args.command == "stability":
+        from repro.experiments.stability import (
+            render_stability,
+            run_stability_sweep,
+        )
+
+        print(render_stability(run_stability_sweep(duration=args.duration)))
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

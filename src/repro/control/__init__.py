@@ -1,0 +1,39 @@
+"""Signal controllers: the common interface and the baseline algorithms.
+
+* :mod:`repro.control.base` — the per-intersection controller protocol
+  (state feedback ``c(k) = phi(Q(k))``, Eq. 3) and the fixed-length
+  slot driver shared by the conventional back-pressure baselines.
+* :mod:`repro.control.fixed_time` — round-robin fixed-time control.
+* :mod:`repro.control.original_bp` — the original back-pressure policy
+  of Varaiya [3] (Eq. 5 gains, fixed slots).
+* :mod:`repro.control.cap_bp` — the capacity-aware back-pressure
+  policy of Gregoire et al. [4], the paper's main comparator
+  (CAP-BP).
+* :mod:`repro.control.factory` — name-based construction of any
+  controller, including UTIL-BP, for experiment configs.
+
+The paper's own controller lives in :mod:`repro.core.util_bp`.
+"""
+
+from repro.control.base import (
+    TRANSITION,
+    FixedSlotController,
+    IntersectionController,
+    NetworkController,
+)
+from repro.control.fixed_time import FixedTimeController
+from repro.control.original_bp import OriginalBpController
+from repro.control.cap_bp import CapBpController
+from repro.control.factory import make_controller, make_network_controller
+
+__all__ = [
+    "TRANSITION",
+    "IntersectionController",
+    "FixedSlotController",
+    "NetworkController",
+    "FixedTimeController",
+    "OriginalBpController",
+    "CapBpController",
+    "make_controller",
+    "make_network_controller",
+]

@@ -1,0 +1,49 @@
+"""Fixed-time (round-robin) signal control.
+
+The simplest possible baseline: cycle through the control phases in
+index order, giving each the same green duration, with an amber
+between consecutive phases.  It ignores the queue state entirely —
+useful as a sanity floor in experiments and ablations (any
+traffic-responsive policy should beat it under asymmetric demand).
+"""
+
+from __future__ import annotations
+
+from repro.control.base import FixedSlotController
+from repro.model.intersection import Intersection
+from repro.model.queues import QueueObservation
+
+__all__ = ["FixedTimeController"]
+
+
+class FixedTimeController(FixedSlotController):
+    """Round-robin over the intersection's phases.
+
+    Parameters
+    ----------
+    intersection:
+        The controlled intersection.
+    period:
+        Green time per phase, seconds.
+    transition_duration:
+        Amber length inserted between phases, seconds.
+    """
+
+    def __init__(
+        self,
+        intersection: Intersection,
+        period: float,
+        transition_duration: float = 4.0,
+    ):
+        super().__init__(intersection, period, transition_duration)
+        self._order = [phase.index for phase in intersection.phases]
+        self._cursor = -1
+
+    def reset(self) -> None:
+        super().reset()
+        self._cursor = -1
+
+    def select_phase(self, obs: QueueObservation) -> int:
+        del obs  # fixed-time control is open loop
+        self._cursor = (self._cursor + 1) % len(self._order)
+        return self._order[self._cursor]

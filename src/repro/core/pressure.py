@@ -1,0 +1,134 @@
+"""Pressure and gain metrics of Sec. III-A.
+
+The notions implemented here, with their equation numbers in the paper:
+
+* ``pressure`` — the mapping ``b = f(q) = q`` (Eq. 4).
+* ``link_gain_original`` — the original back-pressure link gain
+  ``g_o(L, k) = max(0, (b_i - b_{i'}) mu)`` computed on the *total*
+  incoming queue (Eq. 5, Varaiya-style).
+* ``link_gain`` — the paper's modified gain (Eqs. 6-9): per-movement
+  incoming pressure, shifted positive by ``W*``, with the special
+  cases ``beta`` (full outgoing road) and ``alpha`` (empty incoming
+  movement).
+* ``phase_gain`` — the total gain of a phase, ``g(c_j, k)`` (Eq. 10).
+* ``max_link_gain`` — the maximum constituent link gain,
+  ``g_max(c_j, k)`` (Eq. 11), together with the arg-max link
+  ``L_max(c_j, k)`` needed by the keep-phase threshold of Eq. 12.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.model.movements import Movement
+from repro.model.phases import Phase
+from repro.model.queues import QueueObservation
+
+__all__ = [
+    "pressure",
+    "link_gain_original",
+    "link_gain",
+    "phase_gain",
+    "max_link_gain",
+    "keep_threshold",
+]
+
+
+def pressure(queue_length: int) -> float:
+    """The pressure mapping ``b = f(q) = q`` (Eq. 4).
+
+    The paper keeps ``f`` as the identity; it is factored out so that
+    alternative mappings (e.g. normalized or convex pressures) can be
+    studied — see :mod:`repro.control.cap_bp` for the capacity-
+    normalized variant used by the CAP-BP baseline.
+    """
+    if queue_length < 0:
+        raise ValueError(f"queue length must be >= 0, got {queue_length}")
+    return float(queue_length)
+
+
+def link_gain_original(movement: Movement, obs: QueueObservation) -> float:
+    """Original back-pressure link gain, Eq. 5.
+
+    ``g_o(L_i^{i'}, k) = max(0, (b_i(k) - b_{i'}(k)) * mu_i^{i'})``
+
+    Note that the incoming pressure is exerted by the *total* queue of
+    the incoming road ``q_i`` — including vehicles that will not use
+    this link.  The paper identifies this as a utilization problem.
+    """
+    b_in = pressure(obs.incoming_total(movement.in_road))
+    b_out = pressure(obs.out_queue(movement.out_road))
+    return max(0.0, (b_in - b_out) * movement.service_rate)
+
+
+def link_gain(
+    movement: Movement,
+    obs: QueueObservation,
+    alpha: float,
+    beta: float,
+) -> float:
+    """The paper's modified link gain, Eq. 8.
+
+    ::
+
+        g(L, k) = beta                              if q_{i'} = W_{i'}
+                = alpha                             if q_{i'} < W_{i'} and q_i^{i'} = 0
+                = (b_i^{i'} - b_{i'} + W*) mu       otherwise
+
+    with ``W* = max W_{i'}`` (Eq. 7).  In the general case the gain is
+    non-negative because ``b_i^{i'} >= 0`` and ``b_{i'} <= W*``, so any
+    servable link outranks the two special cases (``alpha, beta < 0``).
+    """
+    if alpha >= 0 or beta >= 0:
+        raise ValueError(
+            f"alpha and beta must be negative, got alpha={alpha}, beta={beta}"
+        )
+    q_out = obs.out_queue(movement.out_road)
+    capacity = obs.capacity(movement.out_road)
+    if q_out >= capacity:
+        return beta
+    q_move = obs.movement_queue(movement.in_road, movement.out_road)
+    if q_move == 0:
+        return alpha
+    w_star = float(obs.max_capacity())
+    b_in = pressure(q_move)
+    b_out = pressure(q_out)
+    return (b_in - b_out + w_star) * movement.service_rate
+
+
+def phase_gain(
+    phase: Phase, obs: QueueObservation, alpha: float, beta: float
+) -> float:
+    """Total gain of a phase, ``g(c_j, k)`` (Eq. 10)."""
+    return sum(link_gain(m, obs, alpha, beta) for m in phase.movements)
+
+
+def max_link_gain(
+    phase: Phase, obs: QueueObservation, alpha: float, beta: float
+) -> Tuple[float, Movement]:
+    """``g_max(c_j, k)`` and its arg-max link ``L_max(c_j, k)`` (Eq. 11).
+
+    Ties are broken by the first movement in the phase's declaration
+    order, which is deterministic.
+    """
+    best_gain: Optional[float] = None
+    best_movement: Optional[Movement] = None
+    for movement in phase.movements:
+        gain = link_gain(movement, obs, alpha, beta)
+        if best_gain is None or gain > best_gain:
+            best_gain = gain
+            best_movement = movement
+    assert best_gain is not None and best_movement is not None
+    return best_gain, best_movement
+
+
+def keep_threshold(obs: QueueObservation, movement: Movement) -> float:
+    """The keep-phase threshold ``g*(k)`` of Eq. 12.
+
+    With ``L_max(c(k-1), k) = L_i^{i'}``, the paper sets
+    ``g*(k) = W* mu_i^{i'}``: the current phase is kept exactly while
+    its best link still has a *positive* pressure difference
+    (``g > g*  <=>  b_i^{i'} - b_{i'} > 0`` in the general case of
+    Eq. 8).
+    """
+    return float(obs.max_capacity()) * movement.service_rate

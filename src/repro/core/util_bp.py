@@ -1,0 +1,141 @@
+"""The utilization-aware adaptive back-pressure controller (Algorithm 1).
+
+This is the paper's main contribution.  The controller is invoked at
+*every* mini-slot (enabling varying-length control phases) and decides
+between three cases:
+
+* **Case 1** (lines 1-2): a transition phase is running and its period
+  ``Delta_k`` has not expired — keep it.
+* **Case 2** (lines 3-4): a control phase is running and its best
+  constituent link gain ``g_max(c(k-1), k)`` still exceeds the
+  non-negative threshold ``g*(k)`` (Eq. 12) — keep it.  This is the
+  mechanism that limits the number of transition phases.
+* **Case 3** (lines 5-17): select a new phase ``c'``:
+
+  - if some phase can guarantee junction utilization in the next
+    mini-slot (``max_j g_max(c_j, k) > alpha``), restrict to those
+    phases and pick the one with the highest *total* gain — the best
+    effort against instability (lines 6-8);
+  - otherwise utilization will be low whatever is chosen; pick the
+    phase with the highest single link gain (lines 9-10);
+  - if ``c'`` is already running, or a transition phase just expired,
+    apply ``c'`` directly (lines 12-13); otherwise start a transition
+    phase and arm its expiry timer ``t_{Delta k} = t_k + Delta_k``
+    (lines 14-16).
+
+All inputs — ``Q(k)``, ``C``, ``c(k-1)``, ``t_k`` — are local to the
+intersection, preserving back-pressure's decentralized character.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.control.base import IntersectionController, TRANSITION
+from repro.core.config import UtilBpConfig
+from repro.core.pressure import keep_threshold, max_link_gain, phase_gain
+from repro.model.intersection import Intersection
+from repro.model.phases import Phase
+from repro.model.queues import QueueObservation
+
+__all__ = ["UtilBpController"]
+
+
+class UtilBpController(IntersectionController):
+    """Utilization-aware adaptive back-pressure (UTIL-BP), Algorithm 1.
+
+    Parameters
+    ----------
+    intersection:
+        The controlled intersection.
+    config:
+        Controller parameters; defaults are the paper's evaluation
+        values (``Delta_k = 4 s``, ``alpha = -1``, ``beta = -2``).
+    """
+
+    def __init__(
+        self,
+        intersection: Intersection,
+        config: Optional[UtilBpConfig] = None,
+    ):
+        super().__init__(intersection)
+        self.config = config or UtilBpConfig()
+        #: Global variable ``t_{Delta k}`` of Algorithm 1 — the expiry
+        #: time of the running transition phase.
+        self._transition_until = -math.inf
+
+    def reset(self) -> None:
+        super().reset()
+        self._transition_until = -math.inf
+
+    # -- Algorithm 1 -------------------------------------------------------
+
+    def decide(self, obs: QueueObservation) -> int:
+        t_k = obs.time
+        previous = self._current  # c(k-1)
+
+        # Case 1 (lines 1-2): transition phase still running.
+        if previous == TRANSITION and t_k < self._transition_until:
+            return self._record(TRANSITION)
+
+        # Case 2 (lines 3-4): keep the current control phase while its
+        # best link stays above the threshold g*(k).
+        if previous != TRANSITION:
+            current_phase = self.intersection.phase_by_index(previous)
+            g_max, l_max = max_link_gain(
+                current_phase, obs, self.config.alpha, self.config.beta
+            )
+            threshold = keep_threshold(obs, l_max)
+            threshold -= self.config.keep_margin * l_max.service_rate
+            if g_max > threshold:
+                return self._record(previous)
+
+        # Case 3 (lines 5-17): select a new control phase.
+        selected = self._select_phase(obs)
+        if selected == previous or previous == TRANSITION:
+            # Lines 12-13: same phase, or an expired transition phase.
+            return self._record(selected)
+        # Lines 14-16: different phase — clear the junction first.
+        self._transition_until = t_k + self.config.transition_duration
+        return self._record(TRANSITION)
+
+    def _select_phase(self, obs: QueueObservation) -> int:
+        """Lines 6-11: pick ``c'`` by utilization-aware gain ranking."""
+        alpha, beta = self.config.alpha, self.config.beta
+        ranked: List[Tuple[Phase, float]] = []
+        best_overall = -math.inf
+        for phase in self.intersection.phases:
+            g_max, _ = max_link_gain(phase, obs, alpha, beta)
+            ranked.append((phase, g_max))
+            best_overall = max(best_overall, g_max)
+
+        if best_overall > alpha:
+            # Lines 7-8: among phases guaranteeing some utilization,
+            # take the highest *total* gain (best effort for stability).
+            candidates = [phase for phase, g_max in ranked if g_max > alpha]
+            scores = [
+                (phase_gain(phase, obs, alpha, beta), phase)
+                for phase in candidates
+            ]
+        else:
+            # Line 10: utilization will be low regardless; fall back to
+            # the best single link gain.
+            scores = [(g_max, phase) for phase, g_max in ranked]
+        # Deterministic tie-break: on equal scores prefer the running
+        # phase (a pointless switch would only buy an amber), then the
+        # lowest phase index.
+        def rank(item: Tuple[float, Phase]) -> Tuple[float, int, int]:
+            score, phase = item
+            return (-score, 0 if phase.index == self._current else 1, phase.index)
+
+        scores.sort(key=rank)
+        return scores[0][1].index
+
+    # -- introspection helpers (used by tests and examples) ----------------
+
+    def transition_remaining(self, now: float) -> float:
+        """Seconds of transition phase left at time ``now`` (0 if none)."""
+        if self._current != TRANSITION:
+            return 0.0
+        return max(0.0, self._transition_until - now)

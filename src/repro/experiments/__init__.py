@@ -1,0 +1,46 @@
+"""Evaluation scenarios and the drivers that regenerate the paper's
+tables and figures.
+
+* :mod:`repro.experiments.patterns` — Tables I and II.
+* :mod:`repro.experiments.scenario` — the 3x3 grid scenario builder.
+* :mod:`repro.experiments.runner` — the closed control loop.
+* :mod:`repro.experiments.table3` — Table III (CAP-BP best period vs
+  UTIL-BP over all patterns).
+* :mod:`repro.experiments.fig2` — Fig. 2 (queuing time vs control
+  period, mixed pattern).
+* :mod:`repro.experiments.fig34` — Figs. 3-4 (phase traces at the
+  top-right intersection, Pattern I).
+* :mod:`repro.experiments.fig5` — Fig. 5 (queue trace at the east
+  incoming road of the top-right intersection).
+* :mod:`repro.experiments.ablations` — design-choice ablations.
+* :mod:`repro.experiments.stability` — demand-scale stability sweep
+  (Sec. IV-Q1).
+"""
+
+from repro.experiments.patterns import (
+    MIXED_SEGMENT_DURATION,
+    PATTERN_NAMES,
+    PATTERNS,
+    TURNING,
+    arrival_schedule,
+    interarrival_times,
+    pattern_description,
+)
+from repro.experiments.runner import RunResult, build_engine, run_scenario
+from repro.experiments.scenario import DEFAULT_DURATIONS, Scenario, build_scenario
+
+__all__ = [
+    "TURNING",
+    "PATTERNS",
+    "PATTERN_NAMES",
+    "MIXED_SEGMENT_DURATION",
+    "arrival_schedule",
+    "interarrival_times",
+    "pattern_description",
+    "Scenario",
+    "build_scenario",
+    "DEFAULT_DURATIONS",
+    "RunResult",
+    "run_scenario",
+    "build_engine",
+]

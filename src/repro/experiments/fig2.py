@@ -1,0 +1,131 @@
+"""Figure 2 — average queuing time vs CAP-BP control period (mixed).
+
+The paper plots, for the mixed traffic pattern, the network-wide
+average queuing time of CAP-BP as a function of the (globally set)
+control phase period from 10 s to 80 s, with the UTIL-BP result as the
+flat reference the sweep never beats.  This driver regenerates that
+series and renders it as an ASCII chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import build_scenario
+from repro.util.series import TimeSeries, render_series
+
+__all__ = ["Fig2Result", "run_fig2", "render_fig2", "main"]
+
+#: The paper's sweep grid (Fig. 2 x-axis).
+PAPER_PERIODS: Tuple[float, ...] = (10, 20, 30, 40, 50, 60, 70, 80)
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """The period sweep and the UTIL-BP reference level."""
+
+    periods: Tuple[float, ...]
+    cap_bp_queuing_times: Tuple[float, ...]
+    util_bp_queuing_time: float
+
+    @property
+    def best_period(self) -> float:
+        """Period minimizing the CAP-BP queuing time."""
+        index = min(
+            range(len(self.periods)),
+            key=lambda i: self.cap_bp_queuing_times[i],
+        )
+        return self.periods[index]
+
+    @property
+    def best_queuing_time(self) -> float:
+        """The minimum CAP-BP queuing time over the sweep."""
+        return min(self.cap_bp_queuing_times)
+
+    @property
+    def util_beats_best(self) -> bool:
+        """The paper's headline check for this figure."""
+        return self.util_bp_queuing_time < self.best_queuing_time
+
+
+def run_fig2(
+    periods: Sequence[float] = PAPER_PERIODS,
+    engine: str = "micro",
+    seed: int = 1,
+    segment_duration: float = 3600.0,
+) -> Fig2Result:
+    """Regenerate Fig. 2.
+
+    Parameters
+    ----------
+    periods:
+        CAP-BP control periods to sweep.
+    engine / seed:
+        As elsewhere.
+    segment_duration:
+        Mixed-pattern segment length (paper: 3600 s -> 4 h total).
+        Benchmarks shrink it.
+    """
+    if not periods:
+        raise ValueError("need at least one period to sweep")
+    duration = 4 * segment_duration
+
+    def scenario():
+        return build_scenario(
+            "mixed", seed=seed, mixed_segment_duration=segment_duration
+        )
+
+    cap_times: List[float] = []
+    for period in periods:
+        result = run_scenario(
+            scenario(),
+            controller="cap-bp",
+            controller_params={"period": float(period)},
+            duration=duration,
+            engine=engine,
+        )
+        cap_times.append(result.average_queuing_time)
+    util = run_scenario(
+        scenario(), controller="util-bp", duration=duration, engine=engine
+    )
+    return Fig2Result(
+        periods=tuple(float(p) for p in periods),
+        cap_bp_queuing_times=tuple(cap_times),
+        util_bp_queuing_time=util.average_queuing_time,
+    )
+
+
+def render_fig2(result: Fig2Result) -> str:
+    """ASCII chart in the shape of the paper's Fig. 2."""
+    cap = TimeSeries("CAP-BP (capacity-aware)")
+    for period, value in zip(result.periods, result.cap_bp_queuing_times):
+        cap.append(period, value)
+    util = TimeSeries("UTIL-BP (proposed)")
+    for period in result.periods:
+        util.append(period, result.util_bp_queuing_time)
+    chart = render_series(
+        [cap, util],
+        title=(
+            "Fig. 2 — avg queuing time [s] vs control period [s], "
+            "mixed pattern"
+        ),
+    )
+    lines = [
+        chart,
+        f"best CAP-BP: {result.best_queuing_time:.2f} s at "
+        f"{result.best_period:.0f} s period",
+        f"UTIL-BP:     {result.util_bp_queuing_time:.2f} s "
+        f"({'beats' if result.util_beats_best else 'does not beat'} the sweep)",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Full reproduction at paper horizons on the micro engine."""
+    print(render_fig2(run_fig2()))
+
+
+if __name__ == "__main__":
+    main()

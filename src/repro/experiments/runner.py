@@ -1,0 +1,164 @@
+"""The closed control loop: scenario + controller + engine -> results.
+
+This is the only place where the cyber part (controllers) and the
+physical part (simulators) touch: every mini-slot the runner reads the
+queue observations, asks each intersection's controller for a phase,
+and applies the decisions to the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.control.factory import make_network_controller
+from repro.experiments.scenario import Scenario
+from repro.meso.simulator import MesoSimulator
+from repro.metrics.collector import Summary
+from repro.metrics.traces import PhaseTrace, QueueTrace
+from repro.metrics.utilization import UtilizationTracker
+from repro.util.validation import check_positive
+
+__all__ = ["RunResult", "run_scenario", "build_engine"]
+
+#: Engines selectable by name.  The microscopic engine registers itself
+#: on import (see :mod:`repro.micro.simulator`) to avoid a hard import
+#: cost for meso-only users.
+_ENGINE_BUILDERS: Dict[str, Any] = {}
+
+
+def register_engine(name: str, builder: Any) -> None:
+    """Register an engine constructor (``builder(scenario) -> engine``)."""
+    _ENGINE_BUILDERS[name] = builder
+
+
+def _build_meso(scenario: Scenario) -> MesoSimulator:
+    return MesoSimulator(
+        network=scenario.network,
+        demand=scenario.demand,
+        turning=scenario.turning,
+        seed=scenario.seed,
+    )
+
+
+register_engine("meso", _build_meso)
+
+
+def build_engine(scenario: Scenario, engine: str = "meso"):
+    """Instantiate a simulation engine for a scenario by name."""
+    if engine == "micro" and "micro" not in _ENGINE_BUILDERS:
+        # Importing registers the builder.
+        import repro.micro.simulator  # noqa: F401
+    try:
+        builder = _ENGINE_BUILDERS[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; known: {sorted(_ENGINE_BUILDERS)}"
+        )
+    return builder(scenario)
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one closed-loop run."""
+
+    scenario_name: str
+    controller_name: str
+    duration: float
+    summary: Summary
+    phase_traces: Dict[str, PhaseTrace] = field(default_factory=dict)
+    queue_traces: Dict[Tuple[str, ...], QueueTrace] = field(default_factory=dict)
+    utilization: Dict[str, UtilizationTracker] = field(default_factory=dict)
+
+    @property
+    def average_queuing_time(self) -> float:
+        """The paper's headline metric for this run."""
+        return self.summary.average_queuing_time
+
+    def network_utilization(self) -> UtilizationTracker:
+        """All intersections' utilization trackers merged."""
+        trackers = list(self.utilization.values())
+        if not trackers:
+            return UtilizationTracker(node_id="none")
+        merged = trackers[0]
+        for tracker in trackers[1:]:
+            merged = merged.merged(tracker)
+        return merged
+
+
+def run_scenario(
+    scenario: Scenario,
+    controller: str = "util-bp",
+    controller_params: Optional[Dict[str, Any]] = None,
+    duration: Optional[float] = None,
+    engine: str = "meso",
+    mini_slot: float = 1.0,
+    record_phases: Sequence[str] = (),
+    record_queues: Sequence[Tuple[str, str]] = (),
+    queue_sample_interval: float = 5.0,
+) -> RunResult:
+    """Run a scenario under a controller and collect the results.
+
+    Parameters
+    ----------
+    scenario:
+        The scenario to simulate.
+    controller:
+        Controller name (see :data:`repro.control.factory.CONTROLLER_NAMES`).
+    controller_params:
+        Keyword parameters for the controller (e.g. ``period=16`` for
+        the fixed-slot baselines).
+    duration:
+        Simulation horizon in seconds; defaults to the scenario's.
+    engine:
+        ``"meso"`` or ``"micro"``.
+    mini_slot:
+        The control mini-slot ``Delta_t`` (s); controllers are invoked
+        once per mini-slot.
+    record_phases:
+        Node ids whose applied-phase traces should be recorded
+        (Figs. 3-4).
+    record_queues:
+        ``(node_id, in_road)`` pairs whose total stop-line queue should
+        be sampled every ``queue_sample_interval`` seconds (Fig. 5).
+    """
+    check_positive("mini_slot", mini_slot)
+    check_positive("queue_sample_interval", queue_sample_interval)
+    horizon = scenario.default_duration if duration is None else float(duration)
+    check_positive("duration", horizon)
+
+    sim = build_engine(scenario, engine)
+    network_controller = make_network_controller(
+        controller, scenario.network, **(controller_params or {})
+    )
+
+    phase_traces = {node_id: PhaseTrace(node_id) for node_id in record_phases}
+    queue_traces = {
+        (node_id, road): QueueTrace(road_id=road)
+        for node_id, road in record_queues
+    }
+    next_queue_sample = 0.0
+
+    steps = int(round(horizon / mini_slot))
+    for _ in range(steps):
+        now = sim.time
+        observations = sim.observations()
+        decisions = network_controller.decide(observations)
+        for node_id, trace in phase_traces.items():
+            trace.record(now, decisions[node_id])
+        if now >= next_queue_sample:
+            for (node_id, road), trace in queue_traces.items():
+                trace.sample(now, sim.incoming_queue_total(road))
+            next_queue_sample = now + queue_sample_interval
+        sim.step(mini_slot, decisions)
+
+    sim.finalize()
+    return RunResult(
+        scenario_name=scenario.name,
+        controller_name=controller,
+        duration=horizon,
+        summary=sim.collector.summary(horizon),
+        phase_traces=phase_traces,
+        queue_traces=queue_traces,
+        utilization=dict(sim.utilization),
+    )

@@ -1,0 +1,145 @@
+"""Stability-region study (Sec. IV-Q1).
+
+Back-pressure control's classical guarantee is *maximum stability*
+(bounded queues for any demand inside the capacity region) under
+idealized assumptions.  UTIL-BP knowingly gives that idealized
+guarantee up for utilization; this study measures what actually
+happens: sweep a scale factor on every arrival rate and record, per
+controller, when the network stops being able to drain what comes in.
+
+A configuration counts as *stable* here when, at the end of the run,
+(i) almost no vehicles are stuck outside a full entry road (backlog)
+and (ii) the in-network vehicle count stays well below the network's
+storage capacity — i.e. queues did not grow towards the capacity
+bound for the whole horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.control.factory import make_network_controller
+from repro.experiments.runner import build_engine
+from repro.experiments.scenario import build_scenario
+from repro.util.tables import render_table
+
+__all__ = ["StabilityPoint", "run_stability_sweep", "render_stability", "main"]
+
+
+@dataclass(frozen=True)
+class StabilityPoint:
+    """Outcome of one (controller, demand scale) run."""
+
+    controller: str
+    demand_scale: float
+    average_queuing_time: float
+    vehicles_in_network: int
+    backlog: int
+    network_capacity: int
+
+    @property
+    def stable(self) -> bool:
+        """Bounded-queue proxy: no entry backlog, network < 50 % full."""
+        return (
+            self.backlog <= 5
+            and self.vehicles_in_network < 0.5 * self.network_capacity
+        )
+
+
+def _run_point(
+    controller: str,
+    params: Optional[Dict[str, Any]],
+    scale: float,
+    pattern: str,
+    seed: int,
+    duration: float,
+) -> StabilityPoint:
+    scenario = build_scenario(pattern, seed=seed, demand_scale=scale)
+    sim = build_engine(scenario, "meso")
+    net_controller = make_network_controller(
+        controller, scenario.network, **(params or {})
+    )
+    steps = int(duration)
+    for _ in range(steps):
+        sim.step(1.0, net_controller.decide(sim.observations()))
+    sim.finalize()
+    summary = sim.collector.summary(duration)
+    return StabilityPoint(
+        controller=controller,
+        demand_scale=scale,
+        average_queuing_time=summary.average_queuing_time,
+        vehicles_in_network=sim.vehicles_in_network(),
+        backlog=sim.backlog_size(),
+        network_capacity=scenario.network.total_capacity(),
+    )
+
+
+def run_stability_sweep(
+    scales: Sequence[float] = (0.6, 0.8, 1.0, 1.2, 1.4),
+    controllers: Sequence = (
+        ("util-bp", None),
+        ("cap-bp", {"period": 18.0}),
+    ),
+    pattern: str = "II",
+    seed: int = 1,
+    duration: float = 1800.0,
+) -> List[StabilityPoint]:
+    """Sweep demand scales for each controller (uniform Pattern II)."""
+    if not scales:
+        raise ValueError("need at least one demand scale")
+    points: List[StabilityPoint] = []
+    for name, params in controllers:
+        for scale in scales:
+            points.append(
+                _run_point(name, params, scale, pattern, seed, duration)
+            )
+    return points
+
+
+def max_stable_scale(points: Sequence[StabilityPoint], controller: str) -> float:
+    """Largest swept demand scale the controller kept stable (0 if none)."""
+    stable = [
+        p.demand_scale
+        for p in points
+        if p.controller == controller and p.stable
+    ]
+    return max(stable) if stable else 0.0
+
+
+def render_stability(points: Sequence[StabilityPoint]) -> str:
+    """ASCII table of the sweep."""
+    rows = [
+        (
+            p.controller,
+            f"{p.demand_scale:.1f}",
+            f"{p.average_queuing_time:.1f}",
+            p.vehicles_in_network,
+            p.backlog,
+            "stable" if p.stable else "UNSTABLE",
+        )
+        for p in points
+    ]
+    return render_table(
+        (
+            "controller",
+            "demand scale",
+            "avg queuing [s]",
+            "in network",
+            "backlog",
+            "verdict",
+        ),
+        rows,
+        title="Stability sweep (Sec. IV-Q1): demand scale vs queue boundedness",
+    )
+
+
+def main() -> None:
+    points = run_stability_sweep()
+    print(render_stability(points))
+    for name in ("util-bp", "cap-bp"):
+        print(f"max stable demand scale, {name}: {max_stable_scale(points, name):.1f}")
+
+
+if __name__ == "__main__":
+    main()

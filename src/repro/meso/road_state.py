@@ -1,0 +1,162 @@
+"""Per-road runtime state of the mesoscopic engine."""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from collections import deque
+
+from repro.meso.vehicle import MesoVehicle
+from repro.model.roads import Road
+
+__all__ = ["RoadState"]
+
+
+@dataclass
+class RoadState:
+    """Runtime occupancy of one road.
+
+    A road holds vehicles in two places:
+
+    * ``transit`` — a min-heap of ``(ready_time, seq, vehicle)``:
+      vehicles traversing the road at free-flow speed towards the
+      downstream stop line;
+    * ``queues`` — one FIFO per movement (dedicated turning lanes) at
+      the downstream intersection; empty for network-exit roads.
+
+    ``occupancy`` (transit + queued) is what counts against the road's
+    capacity ``W_i`` and what the upstream intersection observes as the
+    outgoing queue ``q_{i'}``.
+    """
+
+    road: Road
+    queues: Dict[str, Deque[MesoVehicle]] = field(default_factory=dict)
+    transit: List[Tuple[float, int, MesoVehicle]] = field(default_factory=list)
+    mixed: bool = False
+    _seq: int = 0
+
+    #: Queue key used when the road has one shared (mixed) lane.
+    MIXED_LANE = "__mixed__"
+
+    def add_movement_lane(self, out_road: str) -> None:
+        """Declare a dedicated lane towards ``out_road``."""
+        if self.mixed:
+            raise ValueError(
+                f"road {self.road.road_id!r} uses a mixed lane; cannot add "
+                f"a dedicated lane"
+            )
+        self.queues.setdefault(out_road, deque())
+
+    def make_mixed(self) -> None:
+        """Switch the road to a single shared FIFO lane.
+
+        Models the paper's Sec. IV-Q4 scenario: vehicles for different
+        movements queue together, so a blocked head vehicle blocks
+        everyone behind it (head-of-line blocking).
+        """
+        if self.queues and not self.mixed:
+            raise ValueError(
+                f"road {self.road.road_id!r} already has dedicated lanes"
+            )
+        self.mixed = True
+        self.queues.setdefault(self.MIXED_LANE, deque())
+
+    @property
+    def mixed_queue(self) -> Deque[MesoVehicle]:
+        """The shared FIFO of a mixed-lane road."""
+        if not self.mixed:
+            raise ValueError(f"road {self.road.road_id!r} is not mixed-lane")
+        return self.queues[self.MIXED_LANE]
+
+    def mixed_counts(self) -> Dict[str, int]:
+        """Queued vehicles per movement on the shared lane."""
+        counts: Dict[str, int] = {}
+        for vehicle in self.mixed_queue:
+            next_road = vehicle.next_road
+            if next_road is not None:
+                counts[next_road] = counts.get(next_road, 0) + 1
+        return counts
+
+    @property
+    def occupancy(self) -> int:
+        """Total vehicles on the road (in transit + queued)."""
+        return len(self.transit) + sum(len(q) for q in self.queues.values())
+
+    @property
+    def remaining_space(self) -> int:
+        """Vehicles that can still enter before hitting ``W_i``."""
+        return self.road.capacity - self.occupancy
+
+    def queue_length(self, out_road: str) -> int:
+        """``q_i^{i'}`` — vehicles queued on the lane towards ``out_road``."""
+        lane = self.queues.get(out_road)
+        return len(lane) if lane is not None else 0
+
+    def enter_transit(self, vehicle: MesoVehicle, ready_time: float) -> None:
+        """Put a vehicle on the road; it reaches the stop line at ``ready_time``."""
+        if self.remaining_space <= 0:
+            raise ValueError(
+                f"road {self.road.road_id!r} is full "
+                f"(capacity {self.road.capacity})"
+            )
+        heapq.heappush(self.transit, (ready_time, self._seq, vehicle))
+        self._seq += 1
+
+    def promote_arrivals(self, now: float) -> List[MesoVehicle]:
+        """Move transit vehicles that reached the stop line into lanes.
+
+        Returns the promoted vehicles (their ``queued_since`` is set by
+        the caller, which knows the simulation clock semantics).
+        Vehicles whose next route leg has no lane here indicate a route
+        inconsistency and raise.
+        """
+        promoted: List[MesoVehicle] = []
+        while self.transit and self.transit[0][0] <= now:
+            _, _, vehicle = heapq.heappop(self.transit)
+            next_road = vehicle.next_road
+            if next_road is None:
+                raise ValueError(
+                    f"vehicle {vehicle.vehicle_id} in transit on exit road "
+                    f"{self.road.road_id!r} should have left the network"
+                )
+            lane = self.queues.get(
+                self.MIXED_LANE if self.mixed else next_road
+            )
+            if lane is None:
+                raise ValueError(
+                    f"no lane {self.road.road_id!r} -> {next_road!r} "
+                    f"for vehicle {vehicle.vehicle_id}"
+                )
+            lane.append(vehicle)
+            promoted.append(vehicle)
+        return promoted
+
+    def pop_served(self, out_road: str) -> MesoVehicle:
+        """Serve the head vehicle of the lane towards ``out_road``."""
+        lane = self.queues.get(out_road)
+        if not lane:
+            raise ValueError(
+                f"lane {self.road.road_id!r} -> {out_road!r} is empty"
+            )
+        return lane.popleft()
+
+    def approaching(self, now: float, horizon: float) -> Dict[str, int]:
+        """Transit vehicles reaching the stop line within ``horizon`` s.
+
+        Models the coverage of a lane-area detector: vehicles close to
+        the stop line are sensed as part of the queue even though they
+        are still rolling.  Returns counts per movement (out road).
+        """
+        counts: Dict[str, int] = {}
+        deadline = now + horizon
+        for ready_time, _, vehicle in self.transit:
+            if ready_time <= deadline and vehicle.next_road is not None:
+                counts[vehicle.next_road] = counts.get(vehicle.next_road, 0) + 1
+        return counts
+
+    def iter_queued(self):
+        """Yield every queued vehicle (for end-of-run accounting)."""
+        for lane in self.queues.values():
+            yield from lane

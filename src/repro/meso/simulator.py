@@ -1,0 +1,472 @@
+"""The mesoscopic store-and-forward network simulator.
+
+Implements the Sec.-II dynamics literally:
+
+* Poisson arrivals per entry road (Sec. II-B);
+* queue update ``q(k+1) = q(k) + A - S`` (Eq. 2), with individual
+  vehicles so queuing times can be measured;
+* service limited by (i) the applied phase, (ii) the queue contents
+  and (iii) the downstream capacity — the three conditions of
+  Sec. II-C;
+* the transition phase ``c_0`` serves nothing;
+* a served vehicle spends its next road's free-flow time in transit
+  before joining the dedicated lane of its next movement.
+
+The simulator is *passive* with respect to control: every step takes
+the phase decision per intersection as input.  Use
+:class:`repro.experiments.runner` to close the loop with a controller.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
+
+from repro.meso.road_state import RoadState
+from repro.meso.vehicle import MesoVehicle
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.utilization import UtilizationTracker
+from repro.model.arrivals import ArrivalSchedule, PoissonArrivals
+from repro.model.network import BOUNDARY, Network
+from repro.model.phases import TRANSITION_PHASE_INDEX
+from repro.model.queues import QueueObservation
+from repro.model.routing import RouteSampler, TurningProbabilities
+from repro.util.rng import RngStreams
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["MesoSimulator"]
+
+
+class MesoSimulator:
+    """Store-and-forward simulation of a signalized network.
+
+    Parameters
+    ----------
+    network:
+        The road network.
+    demand:
+        Arrival schedule per entry road.  Entry roads without a
+        schedule receive no traffic.
+    turning:
+        Turning probabilities for route sampling (Table I style).
+    seed:
+        Base seed; all randomness derives from it deterministically.
+    travel_time:
+        Free-flow transit time override in seconds.  ``None`` uses each
+        road's ``length / speed_limit``; ``0`` gives the pure queuing
+        abstraction with immediate hops.
+    startup_lost:
+        Seconds of green at the start of every phase application during
+        which nothing is served — the start-up lost time of a real
+        (microscopic) queue discharge.  This is what makes frequent
+        phase switching costly beyond the amber itself.  Set to 0 for
+        the idealized queuing model.
+    sensing_horizon:
+        Look-ahead of the queue sensors in seconds: a vehicle still in
+        transit counts towards its movement's sensed queue once it is
+        within this many seconds of the stop line, mimicking the lane
+        coverage of a SUMO lane-area detector.  Set to 0 for a pure
+        stop-line point sensor.
+    saturation_headway:
+        Seconds between consecutive vehicles discharging over the stop
+        line of one lane under green (the plant's physical saturation
+        flow, ~1800 veh/h/lane for 2.0 s).  This is deliberately
+        *independent* of the movements' ``µ`` — the paper sets
+        ``µ = 1`` as the controller-side gain constant while the SUMO
+        plant discharges at its own physical rate.  ``None`` uses the
+        movements' ``µ`` directly (the idealized Sec. II-C plant).
+    out_queue_mode:
+        What the sensor on an *outgoing* road reports as ``q_{i'}``:
+
+        * ``"spillback"`` (default) — vehicles visible from the
+          junction mouth, i.e. the road reads 0 while it still absorbs
+          traffic and its occupancy once congestion backs up to the
+          junction.  This matches what the upstream signal head can
+          physically see and reproduces the paper's behaviour.
+        * ``"halting"`` — vehicles halted at the road's downstream
+          stop line (a TraCI edge halting-number sensor).
+        * ``"occupancy"`` — every vehicle on the road (the idealized
+          queuing model, where service puts vehicles directly into the
+          downstream queue).
+    lane_policy:
+        ``"dedicated"`` (default) gives every movement its own turning
+        lane (the paper's assumption, no head-of-line blocking);
+        ``"mixed"`` queues all movements of a road in one shared FIFO,
+        so a head vehicle whose movement is red (or blocked) blocks
+        everyone behind it — the Sec. IV-Q4 future-work scenario.
+    """
+
+    OUT_QUEUE_MODES = ("spillback", "halting", "occupancy")
+    LANE_POLICIES = ("dedicated", "mixed")
+
+    def __init__(
+        self,
+        network: Network,
+        demand: Mapping[str, ArrivalSchedule],
+        turning: TurningProbabilities,
+        seed: int = 0,
+        travel_time: Optional[float] = None,
+        startup_lost: float = 2.0,
+        sensing_horizon: float = 2.0,
+        saturation_headway: Optional[float] = 1.3,
+        out_queue_mode: str = "spillback",
+        lane_policy: str = "dedicated",
+    ):
+        self.network = network
+        self.time = 0.0
+        self.collector = MetricsCollector()
+        if travel_time is not None:
+            check_non_negative("travel_time", travel_time)
+        self._travel_time = travel_time
+        check_non_negative("startup_lost", startup_lost)
+        self._startup_lost = startup_lost
+        check_non_negative("sensing_horizon", sensing_horizon)
+        self._sensing_horizon = sensing_horizon
+        if saturation_headway is not None:
+            check_positive("saturation_headway", saturation_headway)
+        self._saturation_headway = saturation_headway
+        if out_queue_mode not in self.OUT_QUEUE_MODES:
+            raise ValueError(
+                f"out_queue_mode must be one of {self.OUT_QUEUE_MODES}, "
+                f"got {out_queue_mode!r}"
+            )
+        self._out_queue_mode = out_queue_mode
+        if lane_policy not in self.LANE_POLICIES:
+            raise ValueError(
+                f"lane_policy must be one of {self.LANE_POLICIES}, "
+                f"got {lane_policy!r}"
+            )
+        self._lane_policy = lane_policy
+
+        streams = RngStreams(seed)
+        self.router = RouteSampler(network, turning, streams.get("routing"))
+        entry_roads = set(network.entry_roads())
+        unknown = set(demand) - entry_roads
+        if unknown:
+            raise ValueError(
+                f"demand declared on non-entry roads: {sorted(unknown)}"
+            )
+        self._arrivals: Dict[str, PoissonArrivals] = {
+            road: PoissonArrivals(schedule, streams.get(f"arrivals/{road}"))
+            for road, schedule in demand.items()
+        }
+
+        self._roads: Dict[str, RoadState] = {
+            road_id: RoadState(road) for road_id, road in network.roads.items()
+        }
+        for intersection in network.intersections.values():
+            for movement in intersection.movements.values():
+                state = self._roads[movement.in_road]
+                if lane_policy == "mixed":
+                    state.make_mixed()
+                else:
+                    state.add_movement_lane(movement.out_road)
+
+        # Backlog: vehicles generated while their entry road was full,
+        # stored with their generation time.  Time spent here is depart
+        # delay and counts as queuing time — otherwise a controller
+        # could hide congestion by blocking the network entries.
+        self._backlog: Dict[str, Deque[Tuple[float, MesoVehicle]]] = {
+            road: deque() for road in self._arrivals
+        }
+        self._credit: Dict[Tuple[str, str], float] = {}
+        self._active_phase: Dict[str, int] = {}
+        self._phase_started: Dict[str, float] = {}
+        self._next_vehicle_id = 0
+        self.utilization: Dict[str, UtilizationTracker] = {
+            node_id: UtilizationTracker(node_id)
+            for node_id in network.intersections
+        }
+        self._finalized = False
+
+    # -- observation -------------------------------------------------------
+
+    def observations(self) -> Dict[str, QueueObservation]:
+        """Build ``Q(k)`` for every intersection at the current time."""
+        result: Dict[str, QueueObservation] = {}
+        for node_id, intersection in self.network.intersections.items():
+            movement_queues = {}
+            sensed_by_road: Dict[str, Dict[str, int]] = {}
+            mixed_by_road: Dict[str, Dict[str, int]] = {}
+            for key in intersection.movements:
+                in_road, out_road = key
+                state = self._roads[in_road]
+                if in_road not in sensed_by_road:
+                    sensed_by_road[in_road] = state.approaching(
+                        self.time, self._sensing_horizon
+                    )
+                    if state.mixed:
+                        mixed_by_road[in_road] = state.mixed_counts()
+                if state.mixed:
+                    queued = mixed_by_road[in_road].get(out_road, 0)
+                else:
+                    queued = state.queue_length(out_road)
+                movement_queues[key] = queued + sensed_by_road[in_road].get(
+                    out_road, 0
+                )
+            out_queues = {}
+            out_capacities = {}
+            for road_id in intersection.out_roads:
+                out_capacities[road_id] = self.network.roads[road_id].capacity
+                out_queues[road_id] = self._sensed_out_queue(road_id)
+            result[node_id] = QueueObservation(
+                time=self.time,
+                movement_queues=movement_queues,
+                out_queues=out_queues,
+                out_capacities=out_capacities,
+            )
+        return result
+
+    def _sensed_out_queue(self, road_id: str) -> int:
+        """``q_{i'}`` as reported by the outgoing road's sensor."""
+        if self.network.road_destination[road_id] == BOUNDARY:
+            return 0  # exit roads are drained by the outside world
+        if self._out_queue_mode == "occupancy":
+            return self._roads[road_id].occupancy
+        if self._out_queue_mode == "halting":
+            return self.incoming_queue_total(road_id)
+        # "spillback": the road reads empty from the junction mouth
+        # until congestion backs up to it.
+        occupancy = self._roads[road_id].occupancy
+        if occupancy >= self.network.roads[road_id].capacity:
+            return occupancy
+        return 0
+
+    # -- stepping ----------------------------------------------------------
+
+    def step(self, dt: float, phases: Mapping[str, int]) -> None:
+        """Advance the simulation by ``dt`` under the given phases.
+
+        ``phases`` maps node id to the applied phase index (0 = amber).
+        Intersections missing from the mapping show amber (serve
+        nothing) — controllers should always cover all of them.
+        """
+        check_positive("dt", dt)
+        if self._finalized:
+            raise RuntimeError("simulator already finalized")
+        self._promote(self.time)
+        self._serve(dt, phases)
+        self._inject(dt)
+        self.time += dt
+        self.collector.advance(self.time)
+
+    def _promote(self, now: float) -> None:
+        for state in self._roads.values():
+            if not state.queues:
+                continue
+            for vehicle in state.promote_arrivals(now):
+                vehicle.queued_since = now
+
+    def _serve(self, dt: float, phases: Mapping[str, int]) -> None:
+        for node_id, intersection in self.network.intersections.items():
+            phase_index = phases.get(node_id, TRANSITION_PHASE_INDEX)
+            tracker = self.utilization[node_id]
+            if phase_index != self._active_phase.get(node_id):
+                # Phase switch: queue discharge restarts, so unused
+                # service credit must not carry over.
+                self._active_phase[node_id] = phase_index
+                self._phase_started[node_id] = self.time
+                for key in intersection.movements:
+                    self._credit.pop(key, None)
+                for in_road in intersection.in_roads:
+                    self._credit.pop(("__mixed__", in_road), None)
+            if phase_index == TRANSITION_PHASE_INDEX:
+                tracker.record_slot(0, dt, 0.0, 0, False)
+                continue
+            phase = intersection.phase_by_index(phase_index)
+            green_age = self.time - self._phase_started[node_id]
+            if green_age < self._startup_lost:
+                # Start-up lost time: drivers are still reacting and
+                # accelerating; nothing crosses the stop line yet.
+                tracker.record_slot(
+                    phase_index,
+                    dt,
+                    sum(m.service_rate for m in phase.movements) * dt,
+                    0,
+                    False,
+                )
+                continue
+            max_service = sum(m.service_rate for m in phase.movements) * dt
+            served_total = 0
+            had_servable = False
+            if self._lane_policy == "mixed":
+                green_keys = frozenset(m.key for m in phase.movements)
+                for in_road in sorted({m.in_road for m in phase.movements}):
+                    served, servable = self._serve_mixed_road(
+                        intersection, in_road, green_keys, dt
+                    )
+                    served_total += served
+                    had_servable = had_servable or servable
+            else:
+                for movement in phase.movements:
+                    served, servable = self._serve_movement(movement, dt)
+                    served_total += served
+                    had_servable = had_servable or servable
+            tracker.record_slot(
+                phase_index, dt, max_service, served_total, had_servable
+            )
+
+    def _serve_movement(self, movement, dt: float) -> Tuple[int, bool]:
+        in_state = self._roads[movement.in_road]
+        queued = in_state.queue_length(movement.out_road)
+        out_is_exit = (
+            self.network.road_destination[movement.out_road] == BOUNDARY
+        )
+        out_state = self._roads[movement.out_road]
+        space = math.inf if out_is_exit else out_state.remaining_space
+        servable = queued > 0 and space > 0
+
+        key = movement.key
+        credit = self._credit.get(key, 0.0) + self._discharge_rate(movement) * dt
+        limit = int(min(credit, queued, space if space != math.inf else credit))
+        for _ in range(limit):
+            vehicle = in_state.pop_served(movement.out_road)
+            if vehicle.queued_since is not None:
+                self.collector.add_queuing_time(
+                    vehicle.vehicle_id, max(0.0, self.time - vehicle.queued_since)
+                )
+            if out_is_exit:
+                self.collector.vehicle_left(vehicle.vehicle_id, self.time)
+            else:
+                vehicle.advance()
+                out_state.enter_transit(
+                    vehicle, self.time + self._transit_time(movement.out_road)
+                )
+        credit -= limit
+        # Do not bank more than one slot of unused service: an idle or
+        # blocked movement must not burst beyond one slot's worth later.
+        self._credit[key] = min(credit, max(1.0, self._discharge_rate(movement) * dt))
+        return limit, servable
+
+    def _serve_mixed_road(
+        self, intersection, in_road: str, green_keys: frozenset, dt: float
+    ) -> Tuple[int, bool]:
+        """Serve a shared-FIFO road: only the head vehicle can move.
+
+        Head-of-line blocking: if the head's movement is red or its
+        downstream road full, nothing behind it is served even when
+        other activated movements have demand further back.
+        """
+        state = self._roads[in_road]
+        queue = state.mixed_queue
+        credit_key = ("__mixed__", in_road)
+        head = queue[0] if queue else None
+        rate = self._discharge_rate(
+            intersection.movements[(in_road, head.next_road)]
+            if head is not None and (in_road, head.next_road) in intersection.movements
+            else next(iter(intersection.movements.values()))
+        )
+        credit = self._credit.get(credit_key, 0.0) + rate * dt
+        served = 0
+        servable = False
+        while queue and credit >= 1.0:
+            vehicle = queue[0]
+            key = (in_road, vehicle.next_road)
+            if key not in green_keys:
+                break  # HOL blocking: red movement at the head
+            out_road = vehicle.next_road
+            out_is_exit = self.network.road_destination[out_road] == BOUNDARY
+            out_state = self._roads[out_road]
+            if not out_is_exit and out_state.remaining_space <= 0:
+                break  # HOL blocking: full downstream road
+            servable = True
+            queue.popleft()
+            credit -= 1.0
+            served += 1
+            if vehicle.queued_since is not None:
+                self.collector.add_queuing_time(
+                    vehicle.vehicle_id,
+                    max(0.0, self.time - vehicle.queued_since),
+                )
+            if out_is_exit:
+                self.collector.vehicle_left(vehicle.vehicle_id, self.time)
+            else:
+                vehicle.advance()
+                out_state.enter_transit(
+                    vehicle, self.time + self._transit_time(out_road)
+                )
+        self._credit[credit_key] = min(credit, max(1.0, rate * dt))
+        return served, servable
+
+    def _discharge_rate(self, movement) -> float:
+        """Vehicles per second the plant can discharge on one movement."""
+        if self._saturation_headway is None:
+            return movement.service_rate
+        return 1.0 / self._saturation_headway
+
+    def _transit_time(self, road_id: str) -> float:
+        if self._travel_time is not None:
+            return self._travel_time
+        return self.network.roads[road_id].free_flow_time
+
+    def _inject(self, dt: float) -> None:
+        for entry, process in self._arrivals.items():
+            backlog = self._backlog[entry]
+            count = process.sample_count(self.time, dt)
+            for _ in range(count):
+                route = self.router.sample_route(entry)
+                backlog.append(
+                    (
+                        self.time,
+                        MesoVehicle(
+                            vehicle_id=self._next_vehicle_id, route=route
+                        ),
+                    )
+                )
+                self._next_vehicle_id += 1
+            state = self._roads[entry]
+            while backlog and state.remaining_space > 0:
+                generated_at, vehicle = backlog.popleft()
+                self.collector.vehicle_entered(vehicle.vehicle_id, self.time)
+                if self.time > generated_at:
+                    self.collector.add_queuing_time(
+                        vehicle.vehicle_id, self.time - generated_at
+                    )
+                state.enter_transit(
+                    vehicle, self.time + self._transit_time(entry)
+                )
+
+    # -- termination and introspection --------------------------------------
+
+    def finalize(self) -> None:
+        """Account queuing time of vehicles still queued at the end."""
+        if self._finalized:
+            return
+        self._finalized = True
+        for state in self._roads.values():
+            for vehicle in state.iter_queued():
+                if vehicle.queued_since is not None:
+                    self.collector.add_queuing_time(
+                        vehicle.vehicle_id,
+                        max(0.0, self.time - vehicle.queued_since),
+                    )
+        # Vehicles still gated outside a full entry road: their entire
+        # existence so far has been depart delay.
+        for backlog in self._backlog.values():
+            for generated_at, vehicle in backlog:
+                self.collector.vehicle_entered(vehicle.vehicle_id, generated_at)
+                self.collector.add_queuing_time(
+                    vehicle.vehicle_id, max(0.0, self.time - generated_at)
+                )
+
+    def road_occupancy(self, road_id: str) -> int:
+        """Vehicles currently on a road (transit + queued)."""
+        return self._roads[road_id].occupancy
+
+    def movement_queue(self, in_road: str, out_road: str) -> int:
+        """Current length of one dedicated movement queue."""
+        return self._roads[in_road].queue_length(out_road)
+
+    def incoming_queue_total(self, in_road: str) -> int:
+        """Total queued vehicles at the stop line of ``in_road``."""
+        state = self._roads[in_road]
+        return sum(len(lane) for lane in state.queues.values())
+
+    def vehicles_in_network(self) -> int:
+        """Total vehicles currently inside the network."""
+        return sum(state.occupancy for state in self._roads.values())
+
+    def backlog_size(self) -> int:
+        """Vehicles generated but still waiting outside a full entry."""
+        return sum(len(q) for q in self._backlog.values())

@@ -1,0 +1,62 @@
+"""Vehicle entities of the mesoscopic engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["MesoVehicle"]
+
+
+@dataclass
+class MesoVehicle:
+    """A vehicle progressing along a fixed route.
+
+    Attributes
+    ----------
+    vehicle_id:
+        Unique integer id (assigned by the simulator).
+    route:
+        Ordered road ids from entry to exit inclusive.
+    leg:
+        Index into ``route`` of the road the vehicle currently occupies.
+    queued_since:
+        Time at which the vehicle joined its current movement queue, or
+        ``None`` while in transit.  Queuing time is accrued lazily from
+        this timestamp when the vehicle is served (or when the run
+        ends).
+    """
+
+    vehicle_id: int
+    route: List[str]
+    leg: int = 0
+    queued_since: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if len(self.route) < 1:
+            raise ValueError("route must contain at least one road")
+        if not 0 <= self.leg < len(self.route):
+            raise ValueError(
+                f"leg {self.leg} out of range for route of {len(self.route)}"
+            )
+
+    @property
+    def current_road(self) -> str:
+        """The road the vehicle is currently on."""
+        return self.route[self.leg]
+
+    @property
+    def next_road(self) -> Optional[str]:
+        """The road the vehicle heads to next (``None`` on its last leg)."""
+        if self.leg + 1 < len(self.route):
+            return self.route[self.leg + 1]
+        return None
+
+    def advance(self) -> None:
+        """Move the vehicle onto its next route leg."""
+        if self.leg + 1 >= len(self.route):
+            raise ValueError(
+                f"vehicle {self.vehicle_id} is already on its final leg"
+            )
+        self.leg += 1
+        self.queued_since = None

@@ -1,0 +1,23 @@
+"""Measurement: the quantities the paper's evaluation reports.
+
+* :mod:`repro.metrics.collector` — per-vehicle queuing/travel time
+  accounting, throughput, and the summary statistics behind Table III
+  and Fig. 2.
+* :mod:`repro.metrics.traces` — time-series recorders for phase traces
+  (Figs. 3-4) and queue-length traces (Fig. 5).
+* :mod:`repro.metrics.utilization` — junction-utilization measures
+  (served vehicles per green mini-slot, amber share) used by the
+  ablation benchmarks.
+"""
+
+from repro.metrics.collector import MetricsCollector, Summary
+from repro.metrics.traces import PhaseTrace, QueueTrace
+from repro.metrics.utilization import UtilizationTracker
+
+__all__ = [
+    "MetricsCollector",
+    "Summary",
+    "PhaseTrace",
+    "QueueTrace",
+    "UtilizationTracker",
+]

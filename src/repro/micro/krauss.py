@@ -1,0 +1,83 @@
+"""The Krauss car-following model (SUMO's default).
+
+Krauss (1998): a vehicle chooses the highest speed that is *safe*,
+i.e. lets it stop without collision if the leader brakes hard:
+
+``v_safe = v_l + (g - v_l * tau) / ((v + v_l) / (2 b) + tau)``
+
+where ``v_l`` is the leader speed, ``g`` the net gap, ``tau`` the
+reaction time and ``b`` the comfortable deceleration.  The desired
+speed is the minimum of acceleration-limited, road-limited and safe
+speed, and a stochastic imperfection subtracts up to
+``sigma * a * dt`` ("dawdling").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.micro.params import KraussParams
+
+__all__ = ["safe_speed", "next_speed"]
+
+
+def safe_speed(
+    gap: float,
+    speed: float,
+    leader_speed: float,
+    params: KraussParams,
+) -> float:
+    """Krauss safe speed for the given net gap and leader speed.
+
+    ``gap`` is the distance from this vehicle's front bumper to the
+    leader's rear bumper minus the minimum gap (i.e. the *usable*
+    distance).  Negative gaps clamp to a full stop.
+    """
+    if gap <= 0:
+        return 0.0
+    tau = params.tau
+    denominator = (speed + leader_speed) / (2.0 * params.decel) + tau
+    v_safe = leader_speed + (gap - leader_speed * tau) / denominator
+    return max(0.0, v_safe)
+
+
+def next_speed(
+    speed: float,
+    speed_limit: float,
+    gap: Optional[float],
+    leader_speed: float,
+    dt: float,
+    params: KraussParams,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """One Krauss speed update.
+
+    Parameters
+    ----------
+    speed:
+        Current speed, m/s.
+    speed_limit:
+        Maximum permitted speed on the lane, m/s.
+    gap:
+        Usable distance to the leader (``None`` for a free road).
+    leader_speed:
+        Leader's speed, m/s (ignored when ``gap`` is ``None``).
+    dt:
+        Time step, s.
+    params:
+        Model parameters.
+    rng:
+        Source of the dawdling noise; ``None`` disables dawdling
+        (deterministic mode, used by tests).
+    """
+    v_acc = speed + params.accel * dt
+    v_des = min(v_acc, speed_limit)
+    if gap is not None:
+        v_des = min(v_des, safe_speed(gap, speed, leader_speed, params))
+    if rng is not None and params.sigma > 0.0:
+        v_des -= params.sigma * params.accel * dt * rng.random()
+    # Physical limits: no reversing, bounded braking.
+    v_min = max(0.0, speed - params.decel * dt)
+    return max(v_min, max(0.0, min(v_des, v_acc)))

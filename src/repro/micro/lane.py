@@ -1,0 +1,218 @@
+"""Dedicated turning lanes with Krauss car-following.
+
+A lane belongs to one road and (for roads feeding an intersection)
+serves exactly one movement — the paper's dedicated-turning-lane
+assumption, which rules out head-of-line blocking (Sec. IV-Q4).
+
+Geometry: positions grow from the road entry (0) to the stop line at
+``length``.  A vehicle that has just crossed the upstream junction
+carries a *negative* position (it is still inside the junction
+interior, of length ``junction_length``) and clears it by driving
+forward — so amber time really is spent clearing the junction, as in
+the paper's model of the transition phase.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.micro.krauss import next_speed, safe_speed
+from repro.micro.params import KraussParams
+from repro.micro.vehicle import MicroVehicle
+
+__all__ = ["Lane"]
+
+
+class Lane:
+    """One lane: an ordered column of vehicles (index 0 at the front)."""
+
+    def __init__(
+        self,
+        lane_id: str,
+        length: float,
+        speed_limit: float,
+        params: KraussParams,
+        junction_length: float = 12.0,
+    ):
+        if length <= 0:
+            raise ValueError(f"lane length must be > 0, got {length}")
+        if speed_limit <= 0:
+            raise ValueError(f"speed limit must be > 0, got {speed_limit}")
+        if junction_length < 0:
+            raise ValueError(
+                f"junction_length must be >= 0, got {junction_length}"
+            )
+        self.lane_id = lane_id
+        self.length = length
+        self.speed_limit = speed_limit
+        self.params = params
+        self.junction_length = junction_length
+        self.vehicles: List[MicroVehicle] = []
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.vehicles)
+
+    @property
+    def front(self) -> Optional[MicroVehicle]:
+        """The vehicle closest to the stop line, if any."""
+        return self.vehicles[0] if self.vehicles else None
+
+    @property
+    def last(self) -> Optional[MicroVehicle]:
+        """The most recently entered vehicle, if any."""
+        return self.vehicles[-1] if self.vehicles else None
+
+    def has_entry_room(self) -> bool:
+        """True if a vehicle can be placed at the lane entry.
+
+        Entry happens at position ``-junction_length`` (from the
+        junction) or 0 (network entry); either way the last vehicle
+        must have advanced at least one jam spacing past the entry
+        point used.
+        """
+        last = self.last
+        if last is None:
+            return True
+        return last.position - self.params.jam_spacing >= -self.junction_length
+
+    def has_spawn_room(self) -> bool:
+        """True if a network-entry vehicle fits at position 0."""
+        last = self.last
+        if last is None:
+            return True
+        return last.position - self.params.jam_spacing >= 0.0
+
+    def halting_count(self, halting_speed: float) -> int:
+        """Vehicles at (almost) standstill anywhere on the lane."""
+        return sum(1 for v in self.vehicles if v.speed < halting_speed)
+
+    def detector_count(self, detector_range: float, halting_speed: float) -> int:
+        """Sensed queue: halted anywhere, or inside the detector area.
+
+        Mirrors a lane-area detector covering the last
+        ``detector_range`` metres before the stop line.
+        """
+        threshold = self.length - detector_range
+        count = 0
+        for vehicle in self.vehicles:
+            if vehicle.speed < halting_speed or vehicle.position >= threshold:
+                count += 1
+        return count
+
+    def spillback_halted(self, spill_window: float, halting_speed: float) -> bool:
+        """True if a halted vehicle sits within ``spill_window`` of entry."""
+        for vehicle in self.vehicles:
+            if vehicle.position <= spill_window and vehicle.speed < halting_speed:
+                return True
+        return False
+
+    # -- dynamics -------------------------------------------------------------
+
+    def step(
+        self,
+        dt: float,
+        open_end: bool,
+        rng: Optional[np.random.Generator],
+    ) -> List[MicroVehicle]:
+        """Advance every vehicle by ``dt``.
+
+        Parameters
+        ----------
+        dt:
+            Integration step, s.
+        open_end:
+            Whether the front vehicle may cross the stop line this step
+            (green signal *and* downstream room — decided by the
+            simulator).
+        rng:
+            Dawdling noise source (``None`` = deterministic).
+
+        Returns
+        -------
+        list of vehicles whose front bumper crossed the stop line; they
+        have already been removed from this lane, with ``position``
+        reset to the overshoot past the line.
+        """
+        params = self.params
+        vehicles = self.vehicles
+        crossed: List[MicroVehicle] = []
+        leader: Optional[MicroVehicle] = None
+        for vehicle in vehicles:
+            if leader is None:
+                if open_end:
+                    gap = None
+                    leader_speed = 0.0
+                else:
+                    # Virtual standing obstacle at the stop line; the
+                    # min_gap is intentionally not subtracted so the
+                    # vehicle halts with its bumper at the line.
+                    gap = self.length - vehicle.position
+                    leader_speed = 0.0
+            else:
+                gap = (
+                    leader.position
+                    - params.length
+                    - params.min_gap
+                    - vehicle.position
+                )
+                leader_speed = leader.speed
+            vehicle.speed = next_speed(
+                vehicle.speed,
+                self.speed_limit,
+                gap,
+                leader_speed,
+                dt,
+                params,
+                rng,
+            )
+            vehicle.position += vehicle.speed * dt
+            if leader is None and not open_end and vehicle.position > self.length:
+                # Numerical overshoot against a red light: clamp.
+                vehicle.position = self.length
+                vehicle.speed = 0.0
+            leader = vehicle
+        # Only an open stop line lets vehicles cross; a vehicle clamped
+        # *at* the line under red must stay put.
+        while open_end and vehicles and vehicles[0].position >= self.length:
+            front = vehicles.pop(0)
+            front.position -= self.length
+            crossed.append(front)
+        return crossed
+
+    # -- mutation ---------------------------------------------------------------
+
+    def push_entry(self, vehicle: MicroVehicle, from_junction: bool) -> None:
+        """Place a vehicle at the lane entry.
+
+        ``from_junction`` entries start inside the junction interior
+        (negative position, preserving any overshoot); network entries
+        start at position 0.
+        """
+        if from_junction:
+            vehicle.position = vehicle.position - self.junction_length
+        else:
+            vehicle.position = 0.0
+        last = self.last
+        if last is not None:
+            ceiling = last.position - self.params.jam_spacing
+            if vehicle.position > ceiling:
+                vehicle.position = ceiling
+                vehicle.speed = min(vehicle.speed, last.speed)
+            # Gap acceptance: a vehicle may not enter faster than the
+            # safe speed towards the lane's tail — otherwise bounded
+            # deceleration would force an overlap (rear-end collision).
+            usable = (
+                last.position
+                - self.params.length
+                - self.params.min_gap
+                - vehicle.position
+            )
+            vehicle.speed = min(
+                vehicle.speed,
+                safe_speed(usable, vehicle.speed, last.speed, self.params),
+            )
+        self.vehicles.append(vehicle)

@@ -1,0 +1,100 @@
+"""Parameter sets for the microscopic engine.
+
+Defaults mirror SUMO's passenger-car defaults so the substitute
+substrate behaves like the paper's: 5 m vehicles with 2.5 m minimum
+gap (7.5 m jam spacing — 40 vehicles per 300 m lane, 120 per
+three-lane road, matching the paper's ``W_i = 120``), 2.6 m/s²
+acceleration, 4.5 m/s² comfortable deceleration, 1 s reaction time and
+0.5 driver imperfection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_in_range, check_non_negative, check_positive
+
+__all__ = ["KraussParams", "MicroParams"]
+
+
+@dataclass(frozen=True)
+class KraussParams:
+    """Krauss car-following parameters (SUMO defaults).
+
+    Attributes
+    ----------
+    accel:
+        Maximum acceleration, m/s².
+    decel:
+        Comfortable (braking) deceleration, m/s².
+    tau:
+        Driver reaction time, s.
+    sigma:
+        Driver imperfection in [0, 1]; the speed is randomly reduced
+        by up to ``sigma * accel * dt`` each step.
+    length:
+        Vehicle length, m.
+    min_gap:
+        Standstill gap to the leader, m.
+    """
+
+    accel: float = 2.6
+    decel: float = 4.5
+    tau: float = 1.0
+    sigma: float = 0.5
+    length: float = 5.0
+    min_gap: float = 2.5
+
+    def __post_init__(self) -> None:
+        check_positive("accel", self.accel)
+        check_positive("decel", self.decel)
+        check_positive("tau", self.tau)
+        check_in_range("sigma", self.sigma, 0.0, 1.0)
+        check_positive("length", self.length)
+        check_non_negative("min_gap", self.min_gap)
+
+    @property
+    def jam_spacing(self) -> float:
+        """Road length one standing vehicle occupies (length + gap)."""
+        return self.length + self.min_gap
+
+
+@dataclass(frozen=True)
+class MicroParams:
+    """Engine-level parameters of the microscopic simulator.
+
+    Attributes
+    ----------
+    dt:
+        Integration step, s (SUMO default is 1.0; we default to 0.5
+        for smoother queue discharge).
+    halting_speed:
+        Speed threshold below which a vehicle counts as halting —
+        SUMO's waiting-time definition uses 0.1 m/s.
+    detector_range:
+        Length of the lane-area queue detector upstream of the stop
+        line, m.  Vehicles inside it count towards the sensed movement
+        queue whether moving or halted; halted vehicles count anywhere
+        on the lane.
+    spill_window:
+        Distance from the *entry* of an outgoing road within which a
+        halted vehicle means congestion has spilled back to the
+        junction mouth, m.
+    junction_crossing_time:
+        Seconds a vehicle needs to clear the junction interior after
+        crossing the stop line (added as an entry delay on the next
+        road).
+    """
+
+    dt: float = 0.5
+    halting_speed: float = 0.1
+    detector_range: float = 40.0
+    spill_window: float = 20.0
+    junction_crossing_time: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive("dt", self.dt)
+        check_positive("halting_speed", self.halting_speed)
+        check_positive("detector_range", self.detector_range)
+        check_positive("spill_window", self.spill_window)
+        check_non_negative("junction_crossing_time", self.junction_crossing_time)

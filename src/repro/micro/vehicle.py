@@ -1,0 +1,66 @@
+"""Vehicle entities of the microscopic engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["MicroVehicle"]
+
+
+@dataclass
+class MicroVehicle:
+    """A continuous-space vehicle.
+
+    Attributes
+    ----------
+    vehicle_id:
+        Unique integer id.
+    route:
+        Ordered road ids from entry to exit inclusive.
+    leg:
+        Index into ``route`` of the current road.
+    position:
+        Front-bumper position along the current road, m (0 at the
+        road's entry, ``road.length`` at the stop line).
+    speed:
+        Current speed, m/s.
+    waiting:
+        Accumulated waiting time, s — time spent below the halting
+        speed threshold (SUMO's accumulated waiting-time notion).
+    """
+
+    vehicle_id: int
+    route: List[str]
+    leg: int = 0
+    position: float = 0.0
+    speed: float = 0.0
+    waiting: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.route:
+            raise ValueError("route must contain at least one road")
+        if not 0 <= self.leg < len(self.route):
+            raise ValueError(
+                f"leg {self.leg} out of range for route of {len(self.route)}"
+            )
+        if self.speed < 0:
+            raise ValueError(f"speed must be >= 0, got {self.speed}")
+
+    @property
+    def current_road(self) -> str:
+        """Road id the vehicle currently occupies."""
+        return self.route[self.leg]
+
+    @property
+    def next_road(self) -> Optional[str]:
+        """Road the route continues on (``None`` on the final leg)."""
+        if self.leg + 1 < len(self.route):
+            return self.route[self.leg + 1]
+        return None
+
+    def road_after(self, road_index: int) -> Optional[str]:
+        """Route road following index ``road_index`` (``None`` at end)."""
+        if road_index + 1 < len(self.route):
+            return self.route[road_index + 1]
+        return None

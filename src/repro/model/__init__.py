@@ -1,0 +1,42 @@
+"""The CPS-oriented queuing-network model of Section II of the paper.
+
+A signalized intersection is a directed graph: nodes are roads
+(incoming ``N_I`` and outgoing ``N_O``), directed links ``L_i^{i'}`` are
+legal *movements* between them, and a *control phase* ``c_j`` activates
+a compatible subset of movements.  Vehicles queue per movement on
+dedicated turning lanes (``q_i^{i'}``), roads have finite capacities
+``W_i``, and arrivals are Poisson.
+
+This package contains the pure model — no simulation dynamics and no
+control logic.  The mesoscopic engine (:mod:`repro.meso`) animates this
+model directly; the microscopic engine (:mod:`repro.micro`) refines it
+with continuous-space car-following.
+"""
+
+from repro.model.geometry import Direction, TurnType
+from repro.model.roads import Road
+from repro.model.movements import Movement
+from repro.model.phases import Phase, TRANSITION_PHASE_INDEX
+from repro.model.intersection import Intersection, build_standard_intersection
+from repro.model.conflicts import movements_conflict, phase_conflicts
+from repro.model.queues import QueueObservation
+from repro.model.arrivals import PoissonArrivals, ArrivalSchedule
+from repro.model.network import Network, BOUNDARY
+
+__all__ = [
+    "Direction",
+    "TurnType",
+    "Road",
+    "Movement",
+    "Phase",
+    "TRANSITION_PHASE_INDEX",
+    "Intersection",
+    "build_standard_intersection",
+    "movements_conflict",
+    "phase_conflicts",
+    "QueueObservation",
+    "PoissonArrivals",
+    "ArrivalSchedule",
+    "Network",
+    "BOUNDARY",
+]

@@ -1,0 +1,122 @@
+"""Geometric conflict analysis between movements.
+
+Two movements *conflict* when their paths through the junction cross or
+merge.  We model the junction perimeter as a circle with eight anchor
+points — one approach point and one exit point per compass side, offset
+for right-hand traffic (the approach lane lies clockwise-before its
+side's exit lane when looking at the junction from outside):
+
+* approach points sit slightly counter-clockwise of their side,
+* exit points sit slightly clockwise of their side.
+
+A movement is then a chord between its approach point and its exit
+point, and two movements *cross* iff their chords interleave around the
+circle.  Two movements *merge* iff they share an exit road.
+
+Note on the paper's phase table (Fig. 1): phase ``c_1`` activates the
+opposing straight **and** left movements of the north/south approaches
+simultaneously.  Under strict geometry an opposing left crosses the
+facing straight; the paper's queue-network abstraction declares them
+compatible (protected simultaneous operation).  The validator therefore
+supports two modes — ``"strict"`` geometric checking and ``"paper"``
+(crossings between movements of *opposite* approaches are tolerated,
+merges never are).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.model.geometry import Direction
+from repro.model.movements import Movement
+from repro.model.phases import Phase
+
+__all__ = ["movements_conflict", "phase_conflicts", "validate_phase"]
+
+# Angular positions (degrees, clockwise from north) of the eight anchor
+# points.  Right-hand traffic: e.g. southbound vehicles approaching from
+# the north keep to the western half of their road, so the north
+# approach point (350 deg) lies counter-clockwise of the north exit
+# point (10 deg).
+_APPROACH_ANGLE: Dict[Direction, float] = {
+    Direction.N: 350.0,
+    Direction.E: 80.0,
+    Direction.S: 170.0,
+    Direction.W: 260.0,
+}
+_EXIT_ANGLE: Dict[Direction, float] = {
+    Direction.N: 10.0,
+    Direction.E: 100.0,
+    Direction.S: 190.0,
+    Direction.W: 280.0,
+}
+
+
+def _chord(movement: Movement) -> Tuple[float, float]:
+    return (_APPROACH_ANGLE[movement.approach], _EXIT_ANGLE[movement.exit_side])
+
+
+def _interleaved(chord_a: Tuple[float, float], chord_b: Tuple[float, float]) -> bool:
+    """True iff the chords' endpoints alternate around the circle."""
+    a0, a1 = chord_a
+    inside = 0
+    for point in chord_b:
+        # Walk clockwise from a0; is `point` passed before a1?
+        span = (a1 - a0) % 360.0
+        offset = (point - a0) % 360.0
+        if 0.0 < offset < span:
+            inside += 1
+    return inside == 1
+
+
+def movements_conflict(a: Movement, b: Movement, mode: str = "strict") -> bool:
+    """Decide whether two movements of one intersection conflict.
+
+    Parameters
+    ----------
+    a, b:
+        The movements to test.  Identical movements never conflict.
+    mode:
+        ``"strict"`` — geometric crossings and merges both conflict.
+        ``"paper"`` — crossings between *opposite* approaches are
+        tolerated (the paper's Fig. 1 compatibility), merges and
+        crossings between adjacent approaches still conflict.
+    """
+    if mode not in ("strict", "paper"):
+        raise ValueError(f"unknown conflict mode {mode!r}")
+    if a.key == b.key:
+        return False
+    if a.out_road == b.out_road:
+        return True  # merge conflict: same exit road
+    if a.in_road == b.in_road:
+        return False  # dedicated turning lanes: same approach never conflicts
+    crossing = _interleaved(_chord(a), _chord(b))
+    if not crossing:
+        return False
+    if mode == "paper" and a.approach is b.approach.opposite:
+        return False
+    return True
+
+
+def phase_conflicts(phase: Phase, mode: str = "strict") -> List[Tuple[Movement, Movement]]:
+    """Return every conflicting movement pair inside ``phase``."""
+    pairs: List[Tuple[Movement, Movement]] = []
+    movements = list(phase.movements)
+    for i, first in enumerate(movements):
+        for second in movements[i + 1:]:
+            if movements_conflict(first, second, mode=mode):
+                pairs.append((first, second))
+    return pairs
+
+
+def validate_phase(phase: Phase, mode: str = "paper") -> None:
+    """Raise ``ValueError`` if ``phase`` contains conflicting movements."""
+    conflicts = phase_conflicts(phase, mode=mode)
+    if conflicts:
+        detail = "; ".join(
+            f"{a.label()} x {b.label()}" for a, b in conflicts
+        )
+        raise ValueError(
+            f"phase {phase.name} has {len(conflicts)} conflicting pair(s) "
+            f"under mode={mode!r}: {detail}"
+        )

@@ -1,0 +1,93 @@
+"""Compass directions and turn types for four-leg intersections.
+
+The paper's example intersection (Fig. 1) has four incoming and four
+outgoing roads.  We give them compass semantics so that routing through
+a grid network and turn-probability sampling (Table I) are well
+defined.  Right-hand traffic is assumed throughout, matching the
+figure (e.g. the link ``L_1^6`` — from the north approach into the east
+exit — is described as a *left* turn).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Direction", "TurnType"]
+
+
+class Direction(Enum):
+    """A compass side of an intersection.
+
+    ``Direction.N`` as an *approach* means "the vehicle enters from the
+    north side", i.e. it is heading south.
+    """
+
+    N = "N"
+    E = "E"
+    S = "S"
+    W = "W"
+
+    @property
+    def opposite(self) -> "Direction":
+        """The facing side (``N`` <-> ``S``, ``E`` <-> ``W``)."""
+        return _OPPOSITE[self]
+
+    @property
+    def clockwise(self) -> "Direction":
+        """The next side clockwise (``N -> E -> S -> W -> N``)."""
+        return _CLOCKWISE[self]
+
+    @property
+    def counter_clockwise(self) -> "Direction":
+        """The next side counter-clockwise (``N -> W -> S -> E -> N``)."""
+        return _CLOCKWISE[_OPPOSITE[self]]
+
+    def exit_side(self, turn: "TurnType") -> "Direction":
+        """The exit side for a vehicle approaching from this side.
+
+        Right-hand traffic: a vehicle entering from the north (heading
+        south) exits west on a right turn, east on a left turn, and
+        south when going straight.
+
+        >>> Direction.N.exit_side(TurnType.LEFT) is Direction.E
+        True
+        """
+        if turn is TurnType.STRAIGHT:
+            return self.opposite
+        if turn is TurnType.RIGHT:
+            return self.counter_clockwise
+        return self.clockwise
+
+    def turn_to(self, exit_side: "Direction") -> "TurnType":
+        """The turn type that maps this approach side to ``exit_side``.
+
+        Raises ``ValueError`` for a U-turn (same side), which is not a
+        legal movement in the paper's model.
+        """
+        for turn in TurnType:
+            if self.exit_side(turn) is exit_side:
+                return turn
+        raise ValueError(f"no legal turn from approach {self} to exit {exit_side}")
+
+
+class TurnType(Enum):
+    """The manoeuvre a movement performs through the junction."""
+
+    LEFT = "left"
+    STRAIGHT = "straight"
+    RIGHT = "right"
+
+
+_OPPOSITE = {
+    Direction.N: Direction.S,
+    Direction.S: Direction.N,
+    Direction.E: Direction.W,
+    Direction.W: Direction.E,
+}
+
+_CLOCKWISE = {
+    Direction.N: Direction.E,
+    Direction.E: Direction.S,
+    Direction.S: Direction.W,
+    Direction.W: Direction.N,
+}

@@ -1,0 +1,66 @@
+"""Movements — the directed links ``L_i^{i'}`` of the intersection graph.
+
+A movement connects an incoming road ``N_i`` to an outgoing road
+``N_{i'}`` and owns a dedicated turning lane, so vehicles wanting
+different movements never block each other (no head-of-line blocking,
+Sec. IV-Q4).  Each movement has a full service rate ``µ_i^{i'}``
+(vehicles per second when its signal is green, the queue is non-empty
+and the downstream road has space — Sec. II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.model.geometry import Direction, TurnType
+from repro.util.validation import check_positive
+
+__all__ = ["Movement"]
+
+
+@dataclass(frozen=True)
+class Movement:
+    """A legal traffic movement through one intersection.
+
+    Attributes
+    ----------
+    in_road:
+        Identifier of the incoming road ``N_i``.
+    out_road:
+        Identifier of the outgoing road ``N_{i'}``.
+    approach:
+        Compass side the movement enters from.
+    turn:
+        The manoeuvre performed (left / straight / right).
+    service_rate:
+        ``µ_i^{i'}`` in vehicles per second.  The paper's evaluation
+        uses ``µ = 1`` for every movement.
+    """
+
+    in_road: str
+    out_road: str
+    approach: Direction
+    turn: TurnType
+    service_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.in_road or not self.out_road:
+            raise ValueError("in_road and out_road must be non-empty")
+        if self.in_road == self.out_road:
+            raise ValueError(f"movement cannot loop on road {self.in_road!r}")
+        check_positive("service_rate", self.service_rate)
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """``(in_road, out_road)`` — the unique key of this movement."""
+        return (self.in_road, self.out_road)
+
+    @property
+    def exit_side(self) -> Direction:
+        """Compass side the movement exits to."""
+        return self.approach.exit_side(self.turn)
+
+    def label(self) -> str:
+        """Human-readable label, e.g. ``"N:left"``."""
+        return f"{self.approach.value}:{self.turn.value}"

@@ -1,0 +1,66 @@
+"""Control phases — compatible movement subsets (Sec. II-C).
+
+A control phase ``c_j`` activates a subset of an intersection's
+movements; the *transition phase* ``c_0`` (amber) activates none and is
+inserted between two different control phases to clear the junction.
+
+Phase indices follow the paper: ``0`` is the transition phase and
+control phases are numbered from ``1`` (Fig. 1 defines ``c_1..c_4``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.model.movements import Movement
+
+__all__ = ["Phase", "TRANSITION_PHASE_INDEX"]
+
+#: Index reserved for the transition (amber) phase ``c_0``.
+TRANSITION_PHASE_INDEX = 0
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A control phase: a named, indexed set of movements.
+
+    Attributes
+    ----------
+    index:
+        Positive integer phase number (``c_index``); 0 is reserved for
+        the transition phase, which is represented implicitly by the
+        controllers rather than as a ``Phase`` object.
+    movements:
+        The movements activated while this phase shows green.
+    """
+
+    index: int
+    movements: Tuple[Movement, ...]
+
+    def __post_init__(self) -> None:
+        if self.index <= TRANSITION_PHASE_INDEX:
+            raise ValueError(
+                f"control phase index must be >= 1 "
+                f"(0 is the transition phase), got {self.index}"
+            )
+        if not self.movements:
+            raise ValueError(f"phase c{self.index} must activate >= 1 movement")
+        keys = [m.key for m in self.movements]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"phase c{self.index} activates a movement twice")
+
+    @property
+    def name(self) -> str:
+        """Phase name in the paper's notation, e.g. ``"c1"``."""
+        return f"c{self.index}"
+
+    def serves(self, in_road: str, out_road: str) -> bool:
+        """True if this phase activates the movement ``(in_road, out_road)``."""
+        return any(m.key == (in_road, out_road) for m in self.movements)
+
+    def __len__(self) -> int:
+        return len(self.movements)
+
+    def __iter__(self):
+        return iter(self.movements)

@@ -1,0 +1,60 @@
+"""Road (node) objects of the queuing-network model.
+
+In the paper each *road* participating in an intersection is a graph
+node ``N_i`` with a finite capacity ``W_i`` — the maximum number of
+vehicles it can accommodate (Sec. II-A).  For the microscopic engine a
+road additionally carries a physical length and speed limit, from which
+its *physical* capacity can be derived; the model-level ``capacity``
+is authoritative for control decisions (the paper fixes ``W_i = 120``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_positive
+
+__all__ = ["Road"]
+
+#: Default physical length of a road segment, metres.  With ~7.5 m of
+#: space per queued vehicle and three dedicated turning lanes, a 300 m
+#: road holds 120 vehicles — consistent with the paper's ``W_i = 120``.
+DEFAULT_LENGTH_M = 300.0
+
+#: Default speed limit, metres/second (50 km/h urban).
+DEFAULT_SPEED_MPS = 13.89
+
+
+@dataclass(frozen=True)
+class Road:
+    """A directed road segment.
+
+    Parameters
+    ----------
+    road_id:
+        Globally unique identifier, e.g. ``"J00->J01"`` or ``"IN:N@J01"``.
+    capacity:
+        ``W_i`` — maximum number of vehicles the road accommodates.
+    length:
+        Physical length in metres (microscopic engine only).
+    speed_limit:
+        Free-flow speed in m/s (microscopic engine only).
+    """
+
+    road_id: str
+    capacity: int = 120
+    length: float = field(default=DEFAULT_LENGTH_M)
+    speed_limit: float = field(default=DEFAULT_SPEED_MPS)
+
+    def __post_init__(self) -> None:
+        if not self.road_id:
+            raise ValueError("road_id must be a non-empty string")
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {self.capacity}")
+        check_positive("length", self.length)
+        check_positive("speed_limit", self.speed_limit)
+
+    @property
+    def free_flow_time(self) -> float:
+        """Seconds to traverse the road at the speed limit."""
+        return self.length / self.speed_limit

@@ -1,0 +1,165 @@
+"""Route sampling through a network (Sec. V workload model).
+
+The paper's workload: a vehicle entering the network samples a
+manoeuvre — right turn, left turn or straight — with per-entry-side
+probabilities (Table I), *"while the intersection at which a vehicle
+takes the turn is selected randomly"*.  After turning, the vehicle
+continues straight until it exits the network.
+
+:class:`RouteSampler` implements exactly that on any network whose
+approaches carry the full set of three turn movements (our grids do):
+
+1. walk the *straight corridor* from the entry road to the exit;
+2. sample the turn type from the entry side's probabilities;
+3. for a turning vehicle, pick the turning intersection uniformly
+   among those on the corridor, take the turn there, and walk straight
+   to the exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.model.geometry import Direction, TurnType
+from repro.model.network import BOUNDARY, Network
+from repro.util.validation import check_probability
+
+__all__ = ["TurningProbabilities", "RouteSampler"]
+
+
+@dataclass(frozen=True)
+class TurningProbabilities:
+    """Per-entry-side right/left turning probabilities (Table I style).
+
+    The straight probability is the complement.
+    """
+
+    right: Mapping[Direction, float]
+    left: Mapping[Direction, float]
+
+    def __post_init__(self) -> None:
+        for side in Direction:
+            if side not in self.right or side not in self.left:
+                raise ValueError(f"missing probabilities for side {side}")
+            p_right = check_probability(f"right[{side.value}]", self.right[side])
+            p_left = check_probability(f"left[{side.value}]", self.left[side])
+            if p_right + p_left > 1.0:
+                raise ValueError(
+                    f"right+left probability exceeds 1 for side {side.value}: "
+                    f"{p_right} + {p_left}"
+                )
+
+    def straight(self, side: Direction) -> float:
+        """Probability of going straight when entering from ``side``."""
+        return 1.0 - self.right[side] - self.left[side]
+
+    def sample_turn(self, side: Direction, rng: np.random.Generator) -> TurnType:
+        """Draw a manoeuvre for a vehicle entering from ``side``."""
+        draw = rng.random()
+        if draw < self.right[side]:
+            return TurnType.RIGHT
+        if draw < self.right[side] + self.left[side]:
+            return TurnType.LEFT
+        return TurnType.STRAIGHT
+
+    @classmethod
+    def uniform(cls, right: float = 0.25, left: float = 0.25) -> "TurningProbabilities":
+        """Same probabilities for every entry side."""
+        return cls(
+            right={side: right for side in Direction},
+            left={side: left for side in Direction},
+        )
+
+
+class RouteSampler:
+    """Samples full road-level routes for entering vehicles."""
+
+    def __init__(
+        self,
+        network: Network,
+        turning: TurningProbabilities,
+        rng: np.random.Generator,
+    ):
+        self.network = network
+        self.turning = turning
+        self._rng = rng
+        # Straight corridors are static per entry road; precompute them.
+        self._corridors: Dict[str, List[str]] = {
+            entry: self._straight_walk(entry) for entry in network.entry_roads()
+        }
+        self._entry_side: Dict[str, Direction] = {}
+        for entry in network.entry_roads():
+            movements = network.movements_of(entry)
+            if not movements:
+                raise ValueError(f"entry road {entry!r} has no movements")
+            self._entry_side[entry] = movements[0].approach
+
+    def _movement_with_turn(self, road_id: str, turn: TurnType) -> str:
+        """The out-road reached by taking ``turn`` at the end of ``road_id``."""
+        for movement in self.network.movements_of(road_id):
+            if movement.turn is turn:
+                return movement.out_road
+        raise ValueError(
+            f"road {road_id!r} has no {turn.value} movement at its "
+            f"downstream intersection"
+        )
+
+    def _straight_walk(self, road_id: str) -> List[str]:
+        """Roads visited going straight from ``road_id`` until the exit."""
+        path = [road_id]
+        current = road_id
+        seen = {road_id}
+        while self.network.road_destination[current] != BOUNDARY:
+            current = self._movement_with_turn(current, TurnType.STRAIGHT)
+            if current in seen:
+                raise ValueError(
+                    f"straight walk from {road_id!r} loops at {current!r}"
+                )
+            seen.add(current)
+            path.append(current)
+        return path
+
+    def entry_side(self, entry_road: str) -> Direction:
+        """The network side a given entry road comes from."""
+        try:
+            return self._entry_side[entry_road]
+        except KeyError:
+            raise KeyError(f"{entry_road!r} is not an entry road")
+
+    def corridor(self, entry_road: str) -> List[str]:
+        """The straight corridor (road list) of an entry road."""
+        return list(self._corridors[entry_road])
+
+    def sample_route(self, entry_road: str) -> List[str]:
+        """Sample a complete route starting on ``entry_road``.
+
+        Returns the ordered list of road ids, from the entry road to an
+        exit road inclusive.
+        """
+        corridor = self._corridors.get(entry_road)
+        if corridor is None:
+            raise KeyError(f"{entry_road!r} is not an entry road")
+        side = self._entry_side[entry_road]
+        turn = self.turning.sample_turn(side, self._rng)
+        if turn is TurnType.STRAIGHT:
+            return list(corridor)
+        # A vehicle can turn at the downstream end of every corridor
+        # road that feeds an intersection (the final exit road cannot).
+        turn_candidates = [
+            road
+            for road in corridor
+            if self.network.road_destination[road] != BOUNDARY
+        ]
+        if not turn_candidates:
+            return list(corridor)
+        pick = int(self._rng.integers(0, len(turn_candidates)))
+        turn_road = turn_candidates[pick]
+        prefix = corridor[: corridor.index(turn_road) + 1]
+        after_turn = self._movement_with_turn(turn_road, turn)
+        tail = self._straight_walk(after_turn)
+        route = prefix + tail
+        self.network.validate_route(route)
+        return route

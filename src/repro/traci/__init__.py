@@ -1,0 +1,13 @@
+"""TraCI-style control interface over the simulation engines.
+
+The paper's controllers talk to SUMO through TraCI; this package
+provides the equivalent facade over our engines so that control code
+reads like a TraCI client: step the simulation, read lane-area
+detector and edge statistics, and set traffic-light phases.  It is the
+cyber-physical boundary made explicit — a controller using this API
+touches nothing but sensors and actuators.
+"""
+
+from repro.traci.session import TraciSession
+
+__all__ = ["TraciSession"]

@@ -1,0 +1,30 @@
+"""Shared utilities: seeded RNG streams, ASCII rendering, validation.
+
+These helpers are deliberately free of any traffic-domain knowledge so
+that every other subpackage can depend on them without creating import
+cycles.
+"""
+
+from repro.util.rng import RngStreams, derive_seed
+from repro.util.tables import render_table
+from repro.util.series import TimeSeries, render_series
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "RngStreams",
+    "derive_seed",
+    "render_table",
+    "TimeSeries",
+    "render_series",
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,137 @@
+"""Time-series container and terminal rendering.
+
+Figures 2–5 of the paper are line plots; we regenerate them as sampled
+series plus an ASCII chart so results are inspectable in a terminal and
+assertable in benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["TimeSeries", "render_series"]
+
+
+@dataclass
+class TimeSeries:
+    """A named sequence of ``(time, value)`` samples.
+
+    Samples must be appended in non-decreasing time order; this is
+    enforced so downstream consumers (resampling, plotting) can assume
+    monotonicity.
+    """
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        """Append one sample; ``time`` must not precede the last sample."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"non-monotonic time {time} after {self.times[-1]} in series "
+                f"{self.name!r}"
+            )
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the sample values (0.0 when empty)."""
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+    def max(self) -> float:
+        """Maximum sample value (0.0 when empty)."""
+        return max(self.values) if self.values else 0.0
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Return the sub-series with ``start <= t < end``."""
+        sub = TimeSeries(self.name)
+        for t, v in zip(self.times, self.values):
+            if start <= t < end:
+                sub.append(t, v)
+        return sub
+
+    def resample(self, step: float) -> "TimeSeries":
+        """Bucket-average the series onto a uniform grid of ``step``.
+
+        Empty buckets repeat the previous bucket's value (or 0.0 at the
+        start), mirroring how a plotted staircase would read.
+        """
+        if step <= 0:
+            raise ValueError(f"step must be > 0, got {step}")
+        out = TimeSeries(self.name)
+        if not self.times:
+            return out
+        t0, t_end = self.times[0], self.times[-1]
+        bucket_start = t0
+        acc: List[float] = []
+        idx = 0
+        last = 0.0
+        while bucket_start <= t_end:
+            bucket_end = bucket_start + step
+            acc.clear()
+            while idx < len(self.times) and self.times[idx] < bucket_end:
+                acc.append(self.values[idx])
+                idx += 1
+            if acc:
+                last = sum(acc) / len(acc)
+            out.append(bucket_start, last)
+            bucket_start = bucket_end
+        return out
+
+    def pairs(self) -> List[Tuple[float, float]]:
+        """Return the samples as a list of ``(time, value)`` tuples."""
+        return list(zip(self.times, self.values))
+
+
+def render_series(
+    series: Sequence[TimeSeries],
+    width: int = 72,
+    height: int = 16,
+    title: Optional[str] = None,
+) -> str:
+    """Render one or more series as an ASCII line chart.
+
+    Each series gets its own glyph (``*``, ``o``, ``+``, ``x`` in
+    order).  Axes are labelled with min/max of time and value.
+    """
+    glyphs = "*o+x#@"
+    populated = [s for s in series if len(s) > 0]
+    if not populated:
+        return (title or "") + "\n(empty)"
+    t_min = min(s.times[0] for s in populated)
+    t_max = max(s.times[-1] for s in populated)
+    v_min = min(min(s.values) for s in populated)
+    v_max = max(max(s.values) for s in populated)
+    if v_max == v_min:
+        v_max = v_min + 1.0
+    if t_max == t_min:
+        t_max = t_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, s in enumerate(populated):
+        glyph = glyphs[s_idx % len(glyphs)]
+        for t, v in zip(s.times, s.values):
+            col = int((t - t_min) / (t_max - t_min) * (width - 1))
+            row = int((v - v_min) / (v_max - v_min) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{v_max:>10.2f} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{v_min:>10.2f} +" + "-" * width + "+")
+    lines.append(" " * 12 + f"{t_min:<12.1f}" + " " * max(0, width - 24) + f"{t_max:>12.1f}")
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]} {s.name}" for i, s in enumerate(populated)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

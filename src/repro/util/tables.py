@@ -1,0 +1,69 @@
+"""ASCII table rendering for experiment reports.
+
+The benchmark harness regenerates the paper's tables as plain text so
+the reproduction can be eyeballed against the PDF without a plotting
+stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table"]
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of rows as a boxed ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row values; floats are formatted with two decimals.
+    title:
+        Optional caption printed above the table.
+
+    Returns
+    -------
+    str
+        The rendered table, ending without a trailing newline.
+    """
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def line(char: str = "-", joint: str = "+") -> str:
+        return joint + joint.join(char * (w + 2) for w in widths) + joint
+
+    def format_row(cells: Sequence[str]) -> str:
+        padded = (f" {cell:<{widths[idx]}} " for idx, cell in enumerate(cells))
+        return "|" + "|".join(padded) + "|"
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line())
+    parts.append(format_row(list(headers)))
+    parts.append(line("="))
+    for row in str_rows:
+        parts.append(format_row(row))
+    parts.append(line())
+    return "\n".join(parts)

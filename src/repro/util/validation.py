@@ -1,0 +1,57 @@
+"""Small argument-validation helpers used across the library.
+
+Each helper raises ``ValueError`` with a message naming the offending
+parameter, so call sites stay one-liners and error messages stay
+uniform.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "check_finite",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+]
+
+
+def check_finite(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is a finite number."""
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is finite and > 0."""
+    check_finite(name, value)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is finite and >= 0."""
+    check_finite(name, value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
+    check_finite(name, value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    check_finite(name, value)
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value

@@ -1,0 +1,69 @@
+"""Shared fixtures: a single-intersection network and observation builders."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.model.grid import build_grid_network
+from repro.model.queues import QueueObservation
+
+
+@pytest.fixture
+def single_network():
+    """A 1x1 grid: one Fig.-1 intersection, all roads boundary roads."""
+    return build_grid_network(1, 1)
+
+
+@pytest.fixture
+def intersection(single_network):
+    """The single intersection of the 1x1 grid."""
+    return single_network.intersections["J00"]
+
+
+@pytest.fixture
+def grid3x3():
+    """The paper's 3x3 evaluation network."""
+    return build_grid_network(3, 3)
+
+
+def make_observation(
+    intersection,
+    time: float = 0.0,
+    movement_queues: Optional[Dict[Tuple[str, str], int]] = None,
+    out_queues: Optional[Dict[str, int]] = None,
+) -> QueueObservation:
+    """Build a ``Q(k)`` for an intersection with sparse overrides.
+
+    Unspecified movement queues default to 0; unspecified outgoing
+    queues default to 0; capacities come from the intersection's roads.
+    """
+    queues = {key: 0 for key in intersection.movements}
+    if movement_queues:
+        for key, value in movement_queues.items():
+            if key not in queues:
+                raise KeyError(f"unknown movement {key}")
+            queues[key] = value
+    outs = {road_id: 0 for road_id in intersection.out_roads}
+    if out_queues:
+        for road_id, value in out_queues.items():
+            if road_id not in outs:
+                raise KeyError(f"unknown outgoing road {road_id}")
+            outs[road_id] = value
+    capacities = {
+        road_id: road.capacity
+        for road_id, road in intersection.out_roads.items()
+    }
+    return QueueObservation(
+        time=time,
+        movement_queues=queues,
+        out_queues=outs,
+        out_capacities=capacities,
+    )
+
+
+@pytest.fixture
+def observe():
+    """The :func:`make_observation` helper as a fixture."""
+    return make_observation

@@ -1,0 +1,120 @@
+"""Tests for repro.control.base — the fixed-slot driver and fan-out."""
+
+import pytest
+
+from repro.control.base import (
+    TRANSITION,
+    FixedSlotController,
+    NetworkController,
+)
+from tests.conftest import make_observation
+
+
+class ScriptedController(FixedSlotController):
+    """Fixed-slot controller whose selections are scripted."""
+
+    def __init__(self, intersection, period, selections, transition_duration=4.0):
+        super().__init__(intersection, period, transition_duration)
+        self.selections = list(selections)
+        self.calls = 0
+
+    def select_phase(self, obs):
+        self.calls += 1
+        return self.selections.pop(0)
+
+
+class TestFixedSlotDriver:
+    def test_first_decision_starts_immediately(self, intersection):
+        ctrl = ScriptedController(intersection, period=10, selections=[1])
+        obs = make_observation(intersection, time=0.0)
+        assert ctrl.decide(obs) == 1
+
+    def test_phase_held_for_period(self, intersection):
+        ctrl = ScriptedController(intersection, period=10, selections=[1, 1])
+        for t in range(10):
+            obs = make_observation(intersection, time=float(t))
+            assert ctrl.decide(obs) == 1
+        assert ctrl.calls == 1  # no re-selection mid-slot
+
+    def test_reselection_at_slot_boundary(self, intersection):
+        ctrl = ScriptedController(intersection, period=5, selections=[1, 1, 1])
+        for t in range(11):
+            ctrl.decide(make_observation(intersection, time=float(t)))
+        assert ctrl.calls == 3  # selections at t = 0, 5, 10
+
+    def test_phase_change_inserts_amber(self, intersection):
+        ctrl = ScriptedController(intersection, period=5, selections=[1, 3])
+        decisions = [
+            ctrl.decide(make_observation(intersection, time=float(t)))
+            for t in range(12)
+        ]
+        assert decisions[:5] == [1] * 5
+        assert decisions[5:9] == [TRANSITION] * 4  # 4 s amber
+        assert decisions[9] == 3
+
+    def test_same_phase_extends_without_amber(self, intersection):
+        ctrl = ScriptedController(intersection, period=5, selections=[1, 1, 1])
+        decisions = [
+            ctrl.decide(make_observation(intersection, time=float(t)))
+            for t in range(15)
+        ]
+        assert TRANSITION not in decisions
+
+    def test_slot_restarts_after_amber(self, intersection):
+        ctrl = ScriptedController(intersection, period=5, selections=[1, 3, 3])
+        decisions = [
+            ctrl.decide(make_observation(intersection, time=float(t)))
+            for t in range(14)
+        ]
+        # Phase 3 runs t=9..13 inclusive (its own full slot).
+        assert decisions[9:14] == [3] * 5
+
+    def test_select_phase_may_not_return_transition(self, intersection):
+        ctrl = ScriptedController(intersection, period=5, selections=[TRANSITION])
+        with pytest.raises(ValueError):
+            ctrl.decide(make_observation(intersection, time=0.0))
+
+    def test_unknown_phase_rejected(self, intersection):
+        ctrl = ScriptedController(intersection, period=5, selections=[42])
+        with pytest.raises(KeyError):
+            ctrl.decide(make_observation(intersection, time=0.0))
+
+    def test_reset(self, intersection):
+        ctrl = ScriptedController(intersection, period=5, selections=[1, 3])
+        ctrl.decide(make_observation(intersection, time=0.0))
+        ctrl.reset()
+        assert ctrl.current_phase == TRANSITION
+
+    def test_bad_period_rejected(self, intersection):
+        with pytest.raises(ValueError):
+            ScriptedController(intersection, period=0, selections=[])
+
+
+class TestNetworkController:
+    def test_fans_out(self, grid3x3):
+        controllers = {
+            node_id: ScriptedController(inter, period=5, selections=[1] * 10)
+            for node_id, inter in grid3x3.intersections.items()
+        }
+        net_ctrl = NetworkController(controllers)
+        observations = {
+            node_id: make_observation(inter)
+            for node_id, inter in grid3x3.intersections.items()
+        }
+        decisions = net_ctrl.decide(observations)
+        assert set(decisions) == set(grid3x3.intersections)
+        assert all(d == 1 for d in decisions.values())
+
+    def test_missing_controller_raises(self, grid3x3, intersection):
+        net_ctrl = NetworkController(
+            {"J00": ScriptedController(
+                grid3x3.intersections["J00"], period=5, selections=[1]
+            )}
+        )
+        observations = {"J99": make_observation(intersection)}
+        with pytest.raises(KeyError):
+            net_ctrl.decide(observations)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkController({})

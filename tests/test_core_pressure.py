@@ -1,0 +1,175 @@
+"""Tests for repro.core.pressure — Eqs. 4-12."""
+
+import pytest
+
+from repro.core.pressure import (
+    keep_threshold,
+    link_gain,
+    link_gain_original,
+    max_link_gain,
+    phase_gain,
+    pressure,
+)
+from tests.conftest import make_observation
+
+ALPHA, BETA = -1.0, -2.0
+
+
+def movement_of(intersection, index=0):
+    in_road = sorted(intersection.in_roads)[0]
+    return intersection.movements_from(in_road)[index]
+
+
+class TestPressure:
+    def test_identity_eq4(self):
+        assert pressure(7) == 7.0
+
+    def test_zero(self):
+        assert pressure(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pressure(-1)
+
+
+class TestOriginalGain:
+    def test_uses_total_incoming_queue(self, intersection):
+        m = movement_of(intersection)
+        siblings = intersection.movements_from(m.in_road)
+        obs = make_observation(
+            intersection,
+            movement_queues={s.key: 4 for s in siblings},
+        )
+        # b_i = 12 (total over three lanes), b_i' = 0 -> gain 12 * mu.
+        assert link_gain_original(m, obs) == 12.0
+
+    def test_clamped_at_zero_eq5(self, intersection):
+        m = movement_of(intersection)
+        obs = make_observation(intersection, out_queues={m.out_road: 50})
+        assert link_gain_original(m, obs) == 0.0
+
+    def test_scales_with_service_rate(self, intersection):
+        m = movement_of(intersection)
+        obs = make_observation(intersection, movement_queues={m.key: 6})
+        base = link_gain_original(m, obs)
+        faster = type(m)(
+            in_road=m.in_road,
+            out_road=m.out_road,
+            approach=m.approach,
+            turn=m.turn,
+            service_rate=2.0,
+        )
+        assert link_gain_original(faster, obs) == 2 * base
+
+
+class TestModifiedGain:
+    def test_general_case_eq6(self, intersection):
+        m = movement_of(intersection)
+        obs = make_observation(
+            intersection,
+            movement_queues={m.key: 10},
+            out_queues={m.out_road: 3},
+        )
+        # (b_move - b_out + W*) mu = (10 - 3 + 120) * 1.
+        assert link_gain(m, obs, ALPHA, BETA) == 127.0
+
+    def test_negative_difference_allowed(self, intersection):
+        m = movement_of(intersection)
+        obs = make_observation(
+            intersection,
+            movement_queues={m.key: 1},
+            out_queues={m.out_road: 50},
+        )
+        assert link_gain(m, obs, ALPHA, BETA) == 1 - 50 + 120
+
+    def test_empty_movement_alpha(self, intersection):
+        m = movement_of(intersection)
+        obs = make_observation(intersection)
+        assert link_gain(m, obs, ALPHA, BETA) == ALPHA
+
+    def test_full_outgoing_beta(self, intersection):
+        m = movement_of(intersection)
+        obs = make_observation(
+            intersection,
+            movement_queues={m.key: 10},
+            out_queues={m.out_road: 120},
+        )
+        assert link_gain(m, obs, ALPHA, BETA) == BETA
+
+    def test_full_beats_empty_check_order(self, intersection):
+        # Full outgoing road dominates even when the incoming lane is empty.
+        m = movement_of(intersection)
+        obs = make_observation(intersection, out_queues={m.out_road: 120})
+        assert link_gain(m, obs, ALPHA, BETA) == BETA
+
+    def test_general_case_always_above_specials(self, intersection):
+        # Servable link: gain >= 0 > alpha > beta (with paper parameters).
+        m = movement_of(intersection)
+        obs = make_observation(
+            intersection,
+            movement_queues={m.key: 1},
+            out_queues={m.out_road: 119},
+        )
+        assert link_gain(m, obs, ALPHA, BETA) >= 0 > ALPHA > BETA
+
+    def test_non_negative_alpha_rejected(self, intersection):
+        m = movement_of(intersection)
+        obs = make_observation(intersection)
+        with pytest.raises(ValueError):
+            link_gain(m, obs, 0.0, BETA)
+        with pytest.raises(ValueError):
+            link_gain(m, obs, ALPHA, 0.5)
+
+
+class TestPhaseGains:
+    def test_phase_gain_is_sum_eq10(self, intersection):
+        phase = intersection.phase_by_index(1)
+        obs = make_observation(
+            intersection,
+            movement_queues={m.key: 5 for m in phase.movements},
+        )
+        total = phase_gain(phase, obs, ALPHA, BETA)
+        parts = sum(link_gain(m, obs, ALPHA, BETA) for m in phase.movements)
+        assert total == parts == 4 * 125.0
+
+    def test_max_link_gain_eq11(self, intersection):
+        phase = intersection.phase_by_index(1)
+        best = phase.movements[2]
+        obs = make_observation(intersection, movement_queues={best.key: 9})
+        g_max, l_max = max_link_gain(phase, obs, ALPHA, BETA)
+        assert l_max.key == best.key
+        assert g_max == 129.0
+
+    def test_max_link_gain_all_empty(self, intersection):
+        phase = intersection.phase_by_index(1)
+        obs = make_observation(intersection)
+        g_max, _ = max_link_gain(phase, obs, ALPHA, BETA)
+        assert g_max == ALPHA
+
+    def test_tie_break_deterministic(self, intersection):
+        phase = intersection.phase_by_index(1)
+        obs = make_observation(
+            intersection,
+            movement_queues={m.key: 5 for m in phase.movements},
+        )
+        _, l_max = max_link_gain(phase, obs, ALPHA, BETA)
+        assert l_max.key == phase.movements[0].key
+
+
+class TestKeepThreshold:
+    def test_eq12(self, intersection):
+        m = movement_of(intersection)
+        obs = make_observation(intersection)
+        assert keep_threshold(obs, m) == 120.0
+
+    def test_keep_iff_positive_pressure_difference(self, intersection):
+        """g > g*  <=>  b_move - b_out > 0 in the general case."""
+        m = movement_of(intersection)
+        for q_move, q_out in [(5, 3), (3, 5), (4, 4)]:
+            obs = make_observation(
+                intersection,
+                movement_queues={m.key: q_move},
+                out_queues={m.out_road: q_out},
+            )
+            gain = link_gain(m, obs, ALPHA, BETA)
+            assert (gain > keep_threshold(obs, m)) == (q_move > q_out)

@@ -1,0 +1,90 @@
+"""Tests for repro.micro.krauss — the car-following model."""
+
+import numpy as np
+import pytest
+
+from repro.micro.krauss import next_speed, safe_speed
+from repro.micro.params import KraussParams
+
+P = KraussParams()
+
+
+class TestSafeSpeed:
+    def test_zero_gap_full_stop(self):
+        assert safe_speed(0.0, 10.0, 10.0, P) == 0.0
+
+    def test_negative_gap_full_stop(self):
+        assert safe_speed(-3.0, 10.0, 10.0, P) == 0.0
+
+    def test_large_gap_allows_speed(self):
+        assert safe_speed(500.0, 10.0, 10.0, P) > 10.0
+
+    def test_standing_leader_close(self):
+        # One jam spacing of usable gap: may creep, not race.
+        v = safe_speed(P.jam_spacing, 0.0, 0.0, P)
+        assert 0.0 < v < 10.0
+
+    def test_monotone_in_gap(self):
+        speeds = [safe_speed(g, 5.0, 5.0, P) for g in (5, 10, 20, 40)]
+        assert speeds == sorted(speeds)
+
+    def test_moving_leader_with_ample_gap_allows_following(self):
+        # With a large gap, the safe speed at least matches the leader's.
+        for vl in (5.0, 10.0, 13.0):
+            assert safe_speed(200.0, vl, vl, P) >= vl
+
+
+class TestNextSpeed:
+    def test_accelerates_on_free_road(self):
+        v = next_speed(0.0, 13.89, None, 0.0, 1.0, P, rng=None)
+        assert v == pytest.approx(P.accel)
+
+    def test_respects_speed_limit(self):
+        v = next_speed(13.5, 13.89, None, 0.0, 1.0, P, rng=None)
+        assert v <= 13.89
+
+    def test_brakes_behind_standing_leader(self):
+        v = next_speed(10.0, 13.89, 3.0, 0.0, 1.0, P, rng=None)
+        assert v < 10.0
+
+    def test_never_negative(self):
+        v = next_speed(0.5, 13.89, 0.0, 0.0, 1.0, P, rng=None)
+        assert v >= 0.0
+
+    def test_braking_bounded_by_decel(self):
+        v = next_speed(13.0, 13.89, 0.5, 0.0, 1.0, P, rng=None)
+        assert v >= 13.0 - P.decel * 1.0
+
+    def test_dawdling_reduces_speed(self):
+        rng = np.random.default_rng(0)
+        deterministic = next_speed(5.0, 13.89, None, 0.0, 1.0, P, rng=None)
+        dawdled = [
+            next_speed(5.0, 13.89, None, 0.0, 1.0, P, rng=rng)
+            for _ in range(50)
+        ]
+        assert all(v <= deterministic for v in dawdled)
+        assert any(v < deterministic for v in dawdled)
+
+    def test_sigma_zero_is_deterministic(self):
+        params = KraussParams(sigma=0.0)
+        rng = np.random.default_rng(0)
+        a = next_speed(5.0, 13.89, None, 0.0, 1.0, params, rng=rng)
+        b = next_speed(5.0, 13.89, None, 0.0, 1.0, params, rng=rng)
+        assert a == b
+
+
+class TestParams:
+    def test_jam_spacing(self):
+        assert P.jam_spacing == 7.5
+
+    def test_capacity_consistency_with_paper(self):
+        # 300 m road, 3 lanes, 7.5 m per vehicle -> 120 = paper's W.
+        assert 3 * (300.0 / P.jam_spacing) == 120
+
+    def test_bad_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            KraussParams(sigma=1.5)
+
+    def test_bad_accel_rejected(self):
+        with pytest.raises(ValueError):
+            KraussParams(accel=0.0)

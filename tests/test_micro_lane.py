@@ -1,0 +1,147 @@
+"""Tests for repro.micro.lane — lane dynamics and detectors."""
+
+import pytest
+
+from repro.micro.lane import Lane
+from repro.micro.params import KraussParams
+from repro.micro.vehicle import MicroVehicle
+
+
+def make_lane(length=300.0, speed=13.89):
+    return Lane("lane", length, speed, KraussParams(sigma=0.0))
+
+
+def vehicle(vid=0, position=0.0, speed=0.0):
+    return MicroVehicle(
+        vehicle_id=vid, route=["a", "b"], position=position, speed=speed
+    )
+
+
+class TestLaneDynamics:
+    def test_free_vehicle_accelerates_to_limit(self):
+        lane = make_lane()
+        v = vehicle(position=0.0, speed=0.0)
+        lane.vehicles.append(v)
+        for _ in range(20):
+            lane.step(0.5, open_end=True, rng=None)
+        assert v.speed == pytest.approx(13.89, abs=0.1)
+
+    def test_red_light_stops_front_vehicle(self):
+        lane = make_lane(length=100.0)
+        v = vehicle(position=50.0, speed=13.89)
+        lane.vehicles.append(v)
+        for _ in range(60):
+            lane.step(0.5, open_end=False, rng=None)
+        assert v.position <= 100.0
+        assert v.speed < 0.1
+
+    def test_green_light_releases_vehicle(self):
+        lane = make_lane(length=100.0)
+        v = vehicle(position=99.0, speed=10.0)
+        lane.vehicles.append(v)
+        crossed = lane.step(0.5, open_end=True, rng=None)
+        assert crossed == [v]
+        assert v.position >= 0.0  # overshoot past the line
+        assert not lane.vehicles
+
+    def test_followers_keep_spacing(self):
+        lane = make_lane(length=200.0)
+        leader = vehicle(0, position=50.0, speed=0.0)
+        follower = vehicle(1, position=30.0, speed=13.0)
+        lane.vehicles.extend([leader, follower])
+        for _ in range(40):
+            lane.step(0.5, open_end=False, rng=None)
+        gap = leader.position - KraussParams().length - follower.position
+        assert gap >= 0.0
+
+    def test_no_collision_in_queue_discharge(self):
+        lane = make_lane(length=300.0)
+        params = KraussParams()
+        for i in range(10):
+            lane.vehicles.append(
+                vehicle(i, position=300.0 - i * params.jam_spacing, speed=0.0)
+            )
+        for _ in range(200):
+            lane.step(0.5, open_end=True, rng=None)
+            positions = [v.position for v in lane.vehicles]
+            assert positions == sorted(positions, reverse=True)
+            for front, back in zip(positions, positions[1:]):
+                assert front - back >= params.length - 1e-6
+
+    def test_discharge_headway_realistic(self):
+        """A standing queue discharges at roughly 0.4-0.8 veh/s."""
+        lane = make_lane(length=300.0)
+        params = KraussParams()
+        for i in range(20):
+            lane.vehicles.append(
+                vehicle(i, position=300.0 - i * params.jam_spacing, speed=0.0)
+            )
+        crossed = 0
+        for _ in range(60):  # 30 s of green
+            crossed += len(lane.step(0.5, open_end=True, rng=None))
+        assert 10 <= crossed <= 20
+
+
+class TestDetectors:
+    def test_halting_count(self):
+        lane = make_lane()
+        lane.vehicles.append(vehicle(0, position=299.0, speed=0.0))
+        lane.vehicles.append(vehicle(1, position=100.0, speed=10.0))
+        assert lane.halting_count(0.1) == 1
+
+    def test_detector_counts_moving_vehicles_near_line(self):
+        lane = make_lane(length=300.0)
+        lane.vehicles.append(vehicle(0, position=290.0, speed=10.0))
+        assert lane.detector_count(40.0, 0.1) == 1
+        assert lane.detector_count(5.0, 0.1) == 0
+
+    def test_detector_counts_halted_anywhere(self):
+        lane = make_lane(length=300.0)
+        lane.vehicles.append(vehicle(0, position=10.0, speed=0.0))
+        assert lane.detector_count(40.0, 0.1) == 1
+
+    def test_spillback_detection(self):
+        lane = make_lane(length=300.0)
+        lane.vehicles.append(vehicle(0, position=5.0, speed=0.0))
+        assert lane.spillback_halted(20.0, 0.1)
+
+    def test_no_spillback_when_moving(self):
+        lane = make_lane(length=300.0)
+        lane.vehicles.append(vehicle(0, position=5.0, speed=10.0))
+        assert not lane.spillback_halted(20.0, 0.1)
+
+
+class TestEntry:
+    def test_spawn_room(self):
+        lane = make_lane()
+        assert lane.has_spawn_room()
+        lane.vehicles.append(vehicle(0, position=2.0, speed=0.0))
+        assert not lane.has_spawn_room()
+
+    def test_entry_room_uses_junction_interior(self):
+        lane = make_lane()
+        lane.vehicles.append(vehicle(0, position=-5.0, speed=5.0))
+        assert not lane.has_entry_room()
+
+    def test_push_entry_from_junction_negative_position(self):
+        lane = make_lane()
+        v = vehicle(0, position=0.5, speed=10.0)
+        lane.push_entry(v, from_junction=True)
+        assert v.position == pytest.approx(0.5 - lane.junction_length)
+
+    def test_push_entry_clamps_to_leader(self):
+        lane = make_lane()
+        leader = vehicle(0, position=1.0, speed=0.0)
+        lane.vehicles.append(leader)
+        # Overshoot 8 m puts the entrant at -4 m, past the admissible
+        # ceiling of 1 - 7.5 = -6.5 m: it must be clamped and slowed.
+        v = vehicle(1, position=8.0, speed=13.0)
+        lane.push_entry(v, from_junction=True)
+        assert v.position <= leader.position - lane.params.jam_spacing
+        assert v.speed == 0.0
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Lane("l", 0.0, 13.89, KraussParams())
+        with pytest.raises(ValueError):
+            Lane("l", 100.0, 0.0, KraussParams())

@@ -1,0 +1,98 @@
+"""Tests for repro.model.arrivals — Poisson processes and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.model.arrivals import ArrivalSchedule, PoissonArrivals
+
+
+class TestArrivalSchedule:
+    def test_constant(self):
+        schedule = ArrivalSchedule.constant(0.5)
+        assert schedule.rate_at(0.0) == 0.5
+        assert schedule.rate_at(1e6) == 0.5
+
+    def test_from_interarrival_table2(self):
+        # Pattern I north: a vehicle every 3 s -> rate 1/3.
+        schedule = ArrivalSchedule.from_interarrival(3.0)
+        assert schedule.rate_at(0.0) == pytest.approx(1 / 3)
+
+    def test_piecewise_rates(self):
+        schedule = ArrivalSchedule.piecewise([(0, 1.0), (10, 2.0), (20, 0.5)])
+        assert schedule.rate_at(5) == 1.0
+        assert schedule.rate_at(10) == 2.0
+        assert schedule.rate_at(25) == 0.5
+
+    def test_expected_count_within_segment(self):
+        schedule = ArrivalSchedule.constant(2.0)
+        assert schedule.expected_count(0, 5) == pytest.approx(10.0)
+
+    def test_expected_count_across_boundary(self):
+        schedule = ArrivalSchedule.piecewise([(0, 1.0), (10, 3.0)])
+        assert schedule.expected_count(8, 12) == pytest.approx(2 * 1 + 2 * 3)
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            ArrivalSchedule.piecewise([(5, 1.0)])
+
+    def test_strictly_increasing_starts(self):
+        with pytest.raises(ValueError):
+            ArrivalSchedule.piecewise([(0, 1.0), (0, 2.0)])
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalSchedule.constant(-0.1)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalSchedule.constant(1.0).rate_at(-1)
+
+    def test_backwards_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalSchedule.constant(1.0).expected_count(5, 4)
+
+
+class TestPoissonArrivals:
+    def test_mean_count_matches_rate(self):
+        process = PoissonArrivals(
+            ArrivalSchedule.constant(1 / 3), np.random.default_rng(0)
+        )
+        total = sum(process.sample_count(float(t), 1.0) for t in range(3000))
+        assert total == pytest.approx(1000, rel=0.1)
+
+    def test_zero_rate_no_arrivals(self):
+        process = PoissonArrivals(
+            ArrivalSchedule.constant(0.0), np.random.default_rng(0)
+        )
+        assert all(
+            process.sample_count(float(t), 1.0) == 0 for t in range(100)
+        )
+
+    def test_sample_times_sorted_and_in_window(self):
+        process = PoissonArrivals(
+            ArrivalSchedule.constant(2.0), np.random.default_rng(1)
+        )
+        times = process.sample_times(10.0, 5.0)
+        assert times == sorted(times)
+        assert all(10.0 <= t < 15.0 for t in times)
+
+    def test_sample_times_respect_segments(self):
+        # Rate 0 before t=50, high after: all samples must land after 50.
+        schedule = ArrivalSchedule.piecewise([(0, 0.0), (50, 5.0)])
+        process = PoissonArrivals(schedule, np.random.default_rng(2))
+        times = process.sample_times(0.0, 100.0)
+        assert times and all(t >= 50.0 for t in times)
+
+    def test_deterministic_given_rng(self):
+        a = PoissonArrivals(ArrivalSchedule.constant(1.0), np.random.default_rng(7))
+        b = PoissonArrivals(ArrivalSchedule.constant(1.0), np.random.default_rng(7))
+        counts_a = [a.sample_count(float(t), 1.0) for t in range(50)]
+        counts_b = [b.sample_count(float(t), 1.0) for t in range(50)]
+        assert counts_a == counts_b
+
+    def test_bad_dt_rejected(self):
+        process = PoissonArrivals(
+            ArrivalSchedule.constant(1.0), np.random.default_rng(0)
+        )
+        with pytest.raises(ValueError):
+            process.sample_count(0.0, 0.0)

@@ -1,0 +1,111 @@
+"""Tests for repro.model.conflicts — geometric conflict analysis."""
+
+import pytest
+
+from repro.model.conflicts import movements_conflict, phase_conflicts, validate_phase
+from repro.model.geometry import Direction, TurnType
+from repro.model.grid import build_grid_network
+from repro.model.movements import Movement
+from repro.model.phases import Phase
+
+
+def mv(approach: Direction, turn: TurnType) -> Movement:
+    exit_side = approach.exit_side(turn)
+    return Movement(
+        in_road=f"in_{approach.value}",
+        out_road=f"out_{exit_side.value}",
+        approach=approach,
+        turn=turn,
+    )
+
+
+class TestMovementsConflict:
+    def test_identical_never_conflict(self):
+        a = mv(Direction.N, TurnType.STRAIGHT)
+        assert not movements_conflict(a, a)
+
+    def test_same_approach_never_conflicts(self):
+        # Dedicated turning lanes: all three turns from one approach coexist.
+        a = mv(Direction.N, TurnType.STRAIGHT)
+        b = mv(Direction.N, TurnType.LEFT)
+        assert not movements_conflict(a, b)
+
+    def test_merge_conflict(self):
+        # Both end on the east exit road.
+        a = mv(Direction.N, TurnType.LEFT)       # N -> E
+        b = mv(Direction.W, TurnType.STRAIGHT)   # W -> E
+        assert movements_conflict(a, b, mode="strict")
+        assert movements_conflict(a, b, mode="paper")
+
+    def test_opposing_straights_compatible(self):
+        a = mv(Direction.N, TurnType.STRAIGHT)
+        b = mv(Direction.S, TurnType.STRAIGHT)
+        assert not movements_conflict(a, b, mode="strict")
+
+    def test_crossing_straights_conflict(self):
+        a = mv(Direction.N, TurnType.STRAIGHT)
+        b = mv(Direction.E, TurnType.STRAIGHT)
+        assert movements_conflict(a, b, mode="strict")
+        assert movements_conflict(a, b, mode="paper")
+
+    def test_opposing_left_vs_straight_strict_only(self):
+        left = mv(Direction.N, TurnType.LEFT)
+        straight = mv(Direction.S, TurnType.STRAIGHT)
+        assert movements_conflict(left, straight, mode="strict")
+        # The paper's Fig. 1 phase table declares these compatible.
+        assert not movements_conflict(left, straight, mode="paper")
+
+    def test_opposing_rights_compatible(self):
+        a = mv(Direction.N, TurnType.RIGHT)
+        b = mv(Direction.S, TurnType.RIGHT)
+        assert not movements_conflict(a, b, mode="strict")
+
+    def test_right_turn_vs_crossing_straight(self):
+        # N-right (into the west exit) does not cross W-straight.
+        right = mv(Direction.N, TurnType.RIGHT)
+        straight = mv(Direction.W, TurnType.STRAIGHT)
+        assert not movements_conflict(right, straight, mode="strict")
+
+    def test_symmetry(self):
+        pairs = [
+            (mv(Direction.N, TurnType.LEFT), mv(Direction.S, TurnType.STRAIGHT)),
+            (mv(Direction.N, TurnType.STRAIGHT), mv(Direction.E, TurnType.STRAIGHT)),
+            (mv(Direction.N, TurnType.RIGHT), mv(Direction.W, TurnType.STRAIGHT)),
+        ]
+        for mode in ("strict", "paper"):
+            for a, b in pairs:
+                assert movements_conflict(a, b, mode) == movements_conflict(
+                    b, a, mode
+                )
+
+    def test_unknown_mode_rejected(self):
+        a = mv(Direction.N, TurnType.LEFT)
+        b = mv(Direction.S, TurnType.STRAIGHT)
+        with pytest.raises(ValueError):
+            movements_conflict(a, b, mode="nope")
+
+
+class TestPhaseValidation:
+    def test_paper_phases_pass_paper_mode(self):
+        network = build_grid_network(1, 1)
+        network.intersections["J00"].validate_phases(mode="paper")
+
+    def test_paper_c1_fails_strict_mode(self):
+        network = build_grid_network(1, 1)
+        intersection = network.intersections["J00"]
+        phase_1 = intersection.phase_by_index(1)
+        conflicts = phase_conflicts(phase_1, mode="strict")
+        assert conflicts  # opposing left vs straight crossings
+
+    def test_right_turn_phases_pass_strict(self):
+        network = build_grid_network(1, 1)
+        intersection = network.intersections["J00"]
+        for index in (2, 4):
+            validate_phase(intersection.phase_by_index(index), mode="strict")
+
+    def test_validate_raises_with_detail(self):
+        a = mv(Direction.N, TurnType.STRAIGHT)
+        b = mv(Direction.E, TurnType.STRAIGHT)
+        phase = Phase(index=1, movements=(a, b))
+        with pytest.raises(ValueError, match="conflicting"):
+            validate_phase(phase, mode="paper")

@@ -1,0 +1,50 @@
+"""Tests for repro.model.geometry — directions and turn semantics."""
+
+import pytest
+
+from repro.model.geometry import Direction, TurnType
+
+
+class TestDirection:
+    def test_opposites(self):
+        assert Direction.N.opposite is Direction.S
+        assert Direction.E.opposite is Direction.W
+        assert Direction.S.opposite is Direction.N
+        assert Direction.W.opposite is Direction.E
+
+    def test_clockwise_cycle(self):
+        order = [Direction.N, Direction.E, Direction.S, Direction.W]
+        for current, expected in zip(order, order[1:] + order[:1]):
+            assert current.clockwise is expected
+
+    def test_counter_clockwise_inverts_clockwise(self):
+        for d in Direction:
+            assert d.clockwise.counter_clockwise is d
+
+    def test_straight_exit(self):
+        for d in Direction:
+            assert d.exit_side(TurnType.STRAIGHT) is d.opposite
+
+    def test_paper_left_turn_example(self):
+        # L_1^6: from the north approach, a left turn exits east (Fig. 1).
+        assert Direction.N.exit_side(TurnType.LEFT) is Direction.E
+
+    def test_paper_right_turn_example(self):
+        # c2 activates L_1^8: north approach right turn exits west.
+        assert Direction.N.exit_side(TurnType.RIGHT) is Direction.W
+
+    @pytest.mark.parametrize("approach", list(Direction))
+    @pytest.mark.parametrize("turn", list(TurnType))
+    def test_turn_to_roundtrip(self, approach, turn):
+        assert approach.turn_to(approach.exit_side(turn)) is turn
+
+    @pytest.mark.parametrize("approach", list(Direction))
+    def test_u_turn_rejected(self, approach):
+        with pytest.raises(ValueError):
+            approach.turn_to(approach)
+
+    def test_exit_sides_distinct(self):
+        for approach in Direction:
+            exits = {approach.exit_side(t) for t in TurnType}
+            assert len(exits) == 3
+            assert approach not in exits

@@ -1,0 +1,45 @@
+"""Tests for repro.model.movements."""
+
+import pytest
+
+from repro.model.geometry import Direction, TurnType
+from repro.model.movements import Movement
+
+
+def make(turn=TurnType.LEFT, mu=1.0):
+    return Movement(
+        in_road="in",
+        out_road="out",
+        approach=Direction.N,
+        turn=turn,
+        service_rate=mu,
+    )
+
+
+class TestMovement:
+    def test_key(self):
+        assert make().key == ("in", "out")
+
+    def test_exit_side_consistent_with_geometry(self):
+        movement = make(turn=TurnType.LEFT)
+        assert movement.exit_side is Direction.E
+
+    def test_label(self):
+        assert make(turn=TurnType.RIGHT).label() == "N:right"
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Movement("r", "r", Direction.N, TurnType.LEFT)
+
+    def test_empty_road_rejected(self):
+        with pytest.raises(ValueError):
+            Movement("", "out", Direction.N, TurnType.LEFT)
+
+    @pytest.mark.parametrize("mu", [0.0, -1.0])
+    def test_bad_service_rate_rejected(self, mu):
+        with pytest.raises(ValueError):
+            make(mu=mu)
+
+    def test_frozen_and_hashable(self):
+        assert make() == make()
+        assert hash(make()) == hash(make())

@@ -1,0 +1,44 @@
+"""Tests for repro.model.phases."""
+
+import pytest
+
+from repro.model.geometry import Direction, TurnType
+from repro.model.movements import Movement
+from repro.model.phases import TRANSITION_PHASE_INDEX, Phase
+
+
+def movement(in_road="a", out_road="b", approach=Direction.N, turn=TurnType.LEFT):
+    return Movement(in_road, out_road, approach, turn)
+
+
+class TestPhase:
+    def test_name(self):
+        assert Phase(index=2, movements=(movement(),)).name == "c2"
+
+    def test_transition_index_reserved(self):
+        assert TRANSITION_PHASE_INDEX == 0
+        with pytest.raises(ValueError):
+            Phase(index=0, movements=(movement(),))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Phase(index=-1, movements=(movement(),))
+
+    def test_empty_phase_rejected(self):
+        with pytest.raises(ValueError):
+            Phase(index=1, movements=())
+
+    def test_duplicate_movement_rejected(self):
+        with pytest.raises(ValueError):
+            Phase(index=1, movements=(movement(), movement()))
+
+    def test_serves(self):
+        phase = Phase(index=1, movements=(movement("a", "b"),))
+        assert phase.serves("a", "b")
+        assert not phase.serves("a", "c")
+
+    def test_len_and_iter(self):
+        moves = (movement("a", "b"), movement("a", "c", turn=TurnType.STRAIGHT))
+        phase = Phase(index=1, movements=moves)
+        assert len(phase) == 2
+        assert tuple(phase) == moves

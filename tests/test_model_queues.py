@@ -1,0 +1,83 @@
+"""Tests for repro.model.queues — observations and Eq. 2 dynamics."""
+
+import pytest
+
+from repro.model.queues import QueueObservation, queue_dynamics_step
+from tests.conftest import make_observation
+
+
+class TestQueueObservation:
+    def test_incoming_total_eq1(self, intersection):
+        in_road = intersection.approach_of[list(intersection.approach_of)[0]]
+        movements = intersection.movements_from(in_road)
+        queues = {m.key: i + 1 for i, m in enumerate(movements)}
+        obs = make_observation(intersection, movement_queues=queues)
+        assert obs.incoming_total(in_road) == sum(queues.values())
+
+    def test_movement_queue_default_zero(self, intersection):
+        obs = make_observation(intersection)
+        assert obs.movement_queue("ghost", "road") == 0
+
+    def test_is_full(self, intersection):
+        out_road = next(iter(intersection.out_roads))
+        obs = make_observation(intersection, out_queues={out_road: 120})
+        assert obs.is_full(out_road)
+
+    def test_not_full(self, intersection):
+        out_road = next(iter(intersection.out_roads))
+        obs = make_observation(intersection, out_queues={out_road: 119})
+        assert not obs.is_full(out_road)
+
+    def test_max_capacity_eq7(self, intersection):
+        obs = make_observation(intersection)
+        assert obs.max_capacity() == 120
+
+    def test_unknown_out_road_raises(self, intersection):
+        obs = make_observation(intersection)
+        with pytest.raises(KeyError):
+            obs.out_queue("ghost")
+        with pytest.raises(KeyError):
+            obs.capacity("ghost")
+
+    def test_negative_queue_rejected(self):
+        with pytest.raises(ValueError):
+            QueueObservation(
+                time=0.0,
+                movement_queues={("a", "b"): -1},
+                out_queues={},
+                out_capacities={},
+            )
+
+    def test_queue_without_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            QueueObservation(
+                time=0.0,
+                movement_queues={},
+                out_queues={"r": 3},
+                out_capacities={},
+            )
+
+    def test_empty_capacities_max_capacity_raises(self):
+        obs = QueueObservation(0.0, {}, {}, {})
+        with pytest.raises(ValueError):
+            obs.max_capacity()
+
+
+class TestQueueDynamics:
+    def test_eq2(self):
+        assert queue_dynamics_step(queue=5, arrivals=3, served=2) == 6
+
+    def test_drain_to_zero(self):
+        assert queue_dynamics_step(queue=2, arrivals=0, served=2) == 0
+
+    def test_overserving_rejected(self):
+        with pytest.raises(ValueError):
+            queue_dynamics_step(queue=1, arrivals=0, served=2)
+
+    def test_negative_arrivals_rejected(self):
+        with pytest.raises(ValueError):
+            queue_dynamics_step(queue=1, arrivals=-1, served=0)
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            queue_dynamics_step(queue=1, arrivals=0, served=-1)

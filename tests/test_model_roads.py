@@ -1,0 +1,37 @@
+"""Tests for repro.model.roads."""
+
+import pytest
+
+from repro.model.roads import Road
+
+
+class TestRoad:
+    def test_defaults_match_paper(self):
+        road = Road("r")
+        assert road.capacity == 120
+
+    def test_free_flow_time(self):
+        road = Road("r", capacity=10, length=100.0, speed_limit=10.0)
+        assert road.free_flow_time == pytest.approx(10.0)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Road("")
+
+    @pytest.mark.parametrize("capacity", [0, -5])
+    def test_bad_capacity_rejected(self, capacity):
+        with pytest.raises(ValueError):
+            Road("r", capacity=capacity)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            Road("r", length=0.0)
+
+    def test_bad_speed_rejected(self):
+        with pytest.raises(ValueError):
+            Road("r", speed_limit=-1.0)
+
+    def test_frozen(self):
+        road = Road("r")
+        with pytest.raises(AttributeError):
+            road.capacity = 10

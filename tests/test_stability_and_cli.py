@@ -1,0 +1,115 @@
+"""Tests for the stability study and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.stability import (
+    StabilityPoint,
+    max_stable_scale,
+    render_stability,
+    run_stability_sweep,
+)
+
+
+class TestStability:
+    def test_small_sweep_runs(self):
+        points = run_stability_sweep(
+            scales=(0.5, 1.0),
+            controllers=(("util-bp", None),),
+            duration=200.0,
+        )
+        assert len(points) == 2
+        assert all(p.controller == "util-bp" for p in points)
+
+    def test_light_demand_stable(self):
+        points = run_stability_sweep(
+            scales=(0.5,), controllers=(("util-bp", None),), duration=400.0
+        )
+        assert points[0].stable
+
+    def test_stable_property(self):
+        point = StabilityPoint(
+            controller="x",
+            demand_scale=1.0,
+            average_queuing_time=10.0,
+            vehicles_in_network=100,
+            backlog=0,
+            network_capacity=1000,
+        )
+        assert point.stable
+        saturated = StabilityPoint(
+            controller="x",
+            demand_scale=2.0,
+            average_queuing_time=500.0,
+            vehicles_in_network=900,
+            backlog=300,
+            network_capacity=1000,
+        )
+        assert not saturated.stable
+
+    def test_max_stable_scale(self):
+        def point(scale, stable_count):
+            return StabilityPoint(
+                "c", scale, 1.0, 0 if stable_count else 10**6, 0, 10
+            )
+
+        points = [point(0.5, True), point(1.0, True), point(1.5, False)]
+        assert max_stable_scale(points, "c") == 1.0
+        assert max_stable_scale(points, "other") == 0.0
+
+    def test_render(self):
+        points = run_stability_sweep(
+            scales=(0.5,), controllers=(("util-bp", None),), duration=100.0
+        )
+        assert "Stability sweep" in render_stability(points)
+
+    def test_empty_scales_rejected(self):
+        with pytest.raises(ValueError):
+            run_stability_sweep(scales=())
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_command(self, capsys):
+        code = main(
+            [
+                "run",
+                "--pattern",
+                "II",
+                "--controller",
+                "fixed-time",
+                "--period",
+                "15",
+                "--duration",
+                "120",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "average queuing time" in out
+
+    def test_run_util_bp_default(self, capsys):
+        assert main(["run", "--duration", "60"]) == 0
+        assert "Summary" in capsys.readouterr().out
+
+    def test_ablations_single_study(self, capsys):
+        code = main(["ablations", "alpha-beta-order", "--duration", "60"])
+        assert code == 0
+        assert "alpha-beta-order" in capsys.readouterr().out
+
+    def test_unknown_controller_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--controller", "magic"])
+
+    def test_fig2_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fig2", "--engine", "meso", "--segment", "100"]
+        )
+        assert args.segment == 100.0
+
+    def test_stability_flags_parse(self):
+        args = build_parser().parse_args(["stability", "--duration", "300"])
+        assert args.duration == 300.0

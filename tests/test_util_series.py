@@ -1,0 +1,103 @@
+"""Tests for repro.util.series — time series and ASCII charts."""
+
+import pytest
+
+from repro.util.series import TimeSeries, render_series
+
+
+class TestTimeSeries:
+    def test_append_and_len(self):
+        s = TimeSeries("s")
+        s.append(0.0, 1.0)
+        s.append(1.0, 2.0)
+        assert len(s) == 2
+
+    def test_non_monotonic_rejected(self):
+        s = TimeSeries("s")
+        s.append(5.0, 1.0)
+        with pytest.raises(ValueError):
+            s.append(4.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        s = TimeSeries("s")
+        s.append(1.0, 1.0)
+        s.append(1.0, 2.0)  # staircase corners need duplicate times
+        assert len(s) == 2
+
+    def test_mean(self):
+        s = TimeSeries("s")
+        for t, v in [(0, 2.0), (1, 4.0)]:
+            s.append(t, v)
+        assert s.mean() == 3.0
+
+    def test_mean_empty(self):
+        assert TimeSeries("s").mean() == 0.0
+
+    def test_max(self):
+        s = TimeSeries("s")
+        for t, v in [(0, 2.0), (1, 9.0), (2, 4.0)]:
+            s.append(t, v)
+        assert s.max() == 9.0
+
+    def test_window(self):
+        s = TimeSeries("s")
+        for t in range(10):
+            s.append(float(t), float(t))
+        w = s.window(2.0, 5.0)
+        assert w.times == [2.0, 3.0, 4.0]
+
+    def test_resample_bucket_average(self):
+        s = TimeSeries("s")
+        for t, v in [(0.0, 1.0), (0.5, 3.0), (1.0, 10.0)]:
+            s.append(t, v)
+        r = s.resample(1.0)
+        assert r.values[0] == 2.0  # average of 1 and 3
+        assert r.values[1] == 10.0
+
+    def test_resample_empty_bucket_repeats(self):
+        s = TimeSeries("s")
+        s.append(0.0, 5.0)
+        s.append(3.0, 7.0)
+        r = s.resample(1.0)
+        assert r.values[1] == 5.0  # carried forward
+
+    def test_resample_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            TimeSeries("s").resample(0.0)
+
+    def test_pairs(self):
+        s = TimeSeries("s")
+        s.append(1.0, 2.0)
+        assert s.pairs() == [(1.0, 2.0)]
+
+
+class TestRenderSeries:
+    def _series(self):
+        s = TimeSeries("demo")
+        for t in range(20):
+            s.append(float(t), float(t % 7))
+        return s
+
+    def test_contains_title(self):
+        out = render_series([self._series()], title="T")
+        assert out.startswith("T")
+
+    def test_contains_legend(self):
+        out = render_series([self._series()])
+        assert "demo" in out
+
+    def test_empty_series(self):
+        out = render_series([TimeSeries("empty")])
+        assert "(empty)" in out
+
+    def test_two_series_two_glyphs(self):
+        s1, s2 = self._series(), self._series()
+        s2.name = "other"
+        out = render_series([s1, s2])
+        assert "*" in out and "o" in out
+
+    def test_constant_series_no_crash(self):
+        s = TimeSeries("flat")
+        for t in range(5):
+            s.append(float(t), 1.0)
+        assert "flat" in render_series([s])

@@ -1,0 +1,40 @@
+"""Tests for repro.util.tables — ASCII table rendering."""
+
+import pytest
+
+from repro.util.tables import render_table
+
+
+class TestRenderTable:
+    def test_headers_present(self):
+        out = render_table(["a", "bb"], [[1, 2]])
+        assert "a" in out and "bb" in out
+
+    def test_rows_present(self):
+        out = render_table(["x"], [["hello"]])
+        assert "hello" in out
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[3.14159]])
+        assert "3.14" in out
+        assert "3.1416" not in out
+
+    def test_title(self):
+        out = render_table(["v"], [[1]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_column_alignment(self):
+        out = render_table(["col"], [["short"], ["much longer cell"]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+    def test_no_trailing_newline(self):
+        assert not render_table(["a"], [[1]]).endswith("\n")

@@ -1,0 +1,58 @@
+"""Tests for repro.util.validation."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestValidation:
+    def test_finite_passes(self):
+        assert check_finite("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan])
+    def test_finite_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_finite("x", bad)
+
+    def test_positive_passes(self):
+        assert check_positive("x", 0.1) == 0.1
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.nan])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_positive("x", bad)
+
+    def test_non_negative_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_non_negative_rejects(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.001)
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_probability_passes(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_probability_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_probability("p", bad)
+
+    def test_in_range(self):
+        assert check_in_range("x", 5, 0, 10) == 5
+        with pytest.raises(ValueError):
+            check_in_range("x", 11, 0, 10)
+        with pytest.raises(ValueError):
+            check_in_range("x", -1, 0, 10)
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ValueError, match="myparam"):
+            check_positive("myparam", -1)
