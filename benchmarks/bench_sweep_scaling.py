@@ -1,0 +1,45 @@
+"""Sweep-throughput scaling of the orchestration pool.
+
+Runs the same 8-cell (pattern x controller) grid through
+:class:`repro.orchestration.ExperimentPool` at 1, 2 and 4 workers and
+reports cells/second.  The cells are independent simulations, so the
+parallel runs must reproduce the serial results exactly — that
+equality is asserted here, making this benchmark double as the
+parallel-correctness gate at benchmark scale.
+"""
+
+import pytest
+
+from repro.orchestration import ExperimentPool, SweepGrid
+
+#: 8 independent cells: 4 patterns x 2 controllers, 1800 s meso runs —
+#: large enough that worker start-up amortizes and scaling is visible.
+GRID = SweepGrid(
+    patterns=("I", "II", "III", "IV"),
+    controllers=["util-bp", ("cap-bp", {"period": 18.0})],
+    durations=(1800.0,),
+)
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    """Reference results from the serial in-process path."""
+    return ExperimentPool(workers=1).run(GRID.specs())
+
+
+@pytest.mark.parametrize("workers", (1, 2, 4))
+def test_sweep_scaling(benchmark, workers, serial_results):
+    specs = GRID.specs()
+
+    def sweep():
+        return ExperimentPool(workers=workers).run(specs)
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert results == serial_results, (
+        f"{workers}-worker sweep diverged from the serial reference"
+    )
+    cells_per_second = len(specs) / benchmark.stats.stats.mean
+    print(
+        f"\nworkers={workers}: {len(specs)} cells, "
+        f"{cells_per_second:.2f} cells/s"
+    )

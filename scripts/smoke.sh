@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Pre-merge smoke gate: tier-1 tests plus a 2-worker mini-sweep.
+#
+# Usage: bash scripts/smoke.sh
+#
+# The mini-sweep exercises the full orchestration path (spec expansion,
+# process-parallel execution, result cache) end to end: it runs the
+# same grid cold, then warm, and the warm pass must execute zero cells.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== 2-worker mini-sweep (cold, then warm from cache) =="
+CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR"' EXIT
+
+python -m repro sweep \
+    --patterns I II \
+    --controllers util-bp cap-bp:period=18 \
+    --duration 300 --workers 2 --cache-dir "$CACHE_DIR"
+
+WARM=$(python -m repro sweep \
+    --patterns I II \
+    --controllers util-bp cap-bp:period=18 \
+    --duration 300 --workers 2 --cache-dir "$CACHE_DIR")
+echo "$WARM"
+echo "$WARM" | grep -q "executed 0," \
+    || { echo "smoke FAILED: warm-cache sweep re-executed cells"; exit 1; }
+
+echo
+echo "smoke OK"

@@ -3,22 +3,80 @@
 Commands
 --------
 run        one scenario under one controller, print the summary
+sweep      run a (pattern x controller x seed) grid on the worker pool
 table3     reproduce Table III
 fig2       reproduce Fig. 2 (period sweep)
 fig34      reproduce Figs. 3-4 (phase traces)
 fig5       reproduce Fig. 5 (queue trace)
 ablations  run a named ablation study
 stability  demand-scale stability sweep
+
+Every sweep-shaped command accepts ``--workers N`` (process-parallel
+execution) and ``--cache-dir DIR`` (skip cells already completed by an
+earlier run).
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.control.factory import CONTROLLER_NAMES
+from repro.core.engine import ENGINE_NAMES
 
 __all__ = ["build_parser", "main"]
+
+
+def _add_pool_options(parser: argparse.ArgumentParser) -> None:
+    """Worker-pool options shared by every sweep-shaped command."""
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk result cache; completed cells are not re-simulated",
+    )
+
+
+def _make_pool(args: argparse.Namespace):
+    from repro.orchestration import ExperimentPool
+
+    return ExperimentPool(workers=args.workers, cache_dir=args.cache_dir)
+
+
+def _parse_pattern_token(token: str) -> str:
+    """Validate a --patterns entry eagerly (before any cell runs)."""
+    from repro.experiments.patterns import PATTERN_NAMES
+
+    if token not in PATTERN_NAMES:
+        raise argparse.ArgumentTypeError(
+            f"unknown pattern {token!r}; known: {list(PATTERN_NAMES)}"
+        )
+    return token
+
+
+def _parse_controller_token(token: str) -> tuple:
+    """Parse ``name`` or ``name:key=val,key=val`` into ``(name, params)``."""
+    name, _, params_text = token.partition(":")
+    if name not in CONTROLLER_NAMES:
+        raise argparse.ArgumentTypeError(
+            f"unknown controller {name!r}; known: {list(CONTROLLER_NAMES)}"
+        )
+    params: Dict[str, Any] = {}
+    if params_text:
+        for item in params_text.split(","):
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise argparse.ArgumentTypeError(
+                    f"malformed controller parameter {item!r} "
+                    f"(expected key=value)"
+                )
+            try:
+                params[key] = float(value)
+            except ValueError:
+                params[key] = value
+    return name, params
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,38 +95,113 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--controller", choices=CONTROLLER_NAMES, default="util-bp")
     run.add_argument("--period", type=float, default=None,
                      help="control period for fixed-slot controllers")
-    run.add_argument("--engine", choices=("meso", "micro"), default="meso")
+    run.add_argument("--engine", choices=ENGINE_NAMES, default="meso")
     run.add_argument("--duration", type=float, default=1800.0)
     run.add_argument("--seed", type=int, default=1)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a (pattern x controller x seed) grid on the worker pool",
+    )
+    sweep.add_argument(
+        "--patterns", nargs="+", type=_parse_pattern_token, default=["I"],
+        help="traffic patterns (I II III IV mixed)",
+    )
+    sweep.add_argument(
+        "--controllers", nargs="+", type=_parse_controller_token,
+        default=[("util-bp", {})], metavar="NAME[:key=val,...]",
+        help="controllers, e.g. util-bp cap-bp:period=18",
+    )
+    sweep.add_argument("--seeds", nargs="+", type=int, default=[1])
+    sweep.add_argument("--engine", choices=ENGINE_NAMES, default="meso")
+    sweep.add_argument("--duration", type=float, default=1800.0)
+    _add_pool_options(sweep)
+
     table3 = sub.add_parser("table3", help="reproduce Table III")
-    table3.add_argument("--engine", choices=("meso", "micro"), default="meso")
+    table3.add_argument("--engine", choices=ENGINE_NAMES, default="meso")
     table3.add_argument("--scale", type=float, default=1.0)
     table3.add_argument("--seed", type=int, default=1)
+    _add_pool_options(table3)
 
     fig2 = sub.add_parser("fig2", help="reproduce Fig. 2")
-    fig2.add_argument("--engine", choices=("meso", "micro"), default="meso")
+    fig2.add_argument("--engine", choices=ENGINE_NAMES, default="meso")
     fig2.add_argument("--segment", type=float, default=3600.0)
     fig2.add_argument("--seed", type=int, default=1)
+    _add_pool_options(fig2)
 
     fig34 = sub.add_parser("fig34", help="reproduce Figs. 3-4")
-    fig34.add_argument("--engine", choices=("meso", "micro"), default="micro")
+    fig34.add_argument("--engine", choices=ENGINE_NAMES, default="micro")
     fig34.add_argument("--duration", type=float, default=2000.0)
     fig34.add_argument("--seed", type=int, default=1)
+    _add_pool_options(fig34)
 
     fig5 = sub.add_parser("fig5", help="reproduce Fig. 5")
-    fig5.add_argument("--engine", choices=("meso", "micro"), default="micro")
+    fig5.add_argument("--engine", choices=ENGINE_NAMES, default="micro")
     fig5.add_argument("--duration", type=float, default=2000.0)
     fig5.add_argument("--seed", type=int, default=1)
+    _add_pool_options(fig5)
 
     ablations = sub.add_parser("ablations", help="run an ablation study")
     ablations.add_argument("study", nargs="?", default=None,
                            help="study name (default: all)")
     ablations.add_argument("--duration", type=float, default=1800.0)
+    _add_pool_options(ablations)
 
     stability = sub.add_parser("stability", help="demand-scale sweep")
     stability.add_argument("--duration", type=float, default=1200.0)
+    _add_pool_options(stability)
     return parser
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    from repro.orchestration import SweepGrid
+    from repro.util.tables import render_table
+
+    grid = SweepGrid(
+        patterns=tuple(args.patterns),
+        controllers=tuple(args.controllers),
+        seeds=tuple(args.seeds),
+        engines=(args.engine,),
+        durations=(args.duration,),
+    )
+    specs = grid.specs()
+    pool = _make_pool(args)
+    results = pool.run(specs)
+    rows = [
+        (
+            spec.pattern,
+            spec.controller,
+            ",".join(f"{k}={v}" for k, v in spec.controller_params) or "-",
+            spec.seed,
+            f"{result.average_queuing_time:.2f}",
+            f"{result.summary.throughput_per_hour:.0f}",
+            f"{result.network_utilization().amber_share:.3f}",
+        )
+        for spec, result in zip(specs, results)
+    ]
+    print(
+        render_table(
+            (
+                "pattern",
+                "controller",
+                "params",
+                "seed",
+                "avg queuing [s]",
+                "thru [veh/h]",
+                "amber",
+            ),
+            rows,
+            title=(
+                f"Sweep — {len(specs)} cells, engine {args.engine}, "
+                f"duration {args.duration:.0f} s"
+            ),
+        )
+    )
+    print(
+        f"executed {pool.stats.executed}, "
+        f"cache hits {pool.stats.cache_hits}, workers {pool.workers}"
+    )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -95,11 +228,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
+    if args.command == "sweep":
+        return _run_sweep(args)
+
     if args.command == "table3":
         from repro.experiments.table3 import render_table3, run_table3
 
         rows = run_table3(
-            engine=args.engine, seed=args.seed, duration_scale=args.scale
+            engine=args.engine, seed=args.seed, duration_scale=args.scale,
+            pool=_make_pool(args),
         )
         print(render_table3(rows))
         return 0
@@ -113,6 +250,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     engine=args.engine,
                     seed=args.seed,
                     segment_duration=args.segment,
+                    pool=_make_pool(args),
                 )
             )
         )
@@ -127,6 +265,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     engine=args.engine,
                     duration=args.duration,
                     seed=args.seed,
+                    pool=_make_pool(args),
                 )
             )
         )
@@ -141,6 +280,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     engine=args.engine,
                     duration=args.duration,
                     seed=args.seed,
+                    pool=_make_pool(args),
                 )
             )
         )
@@ -153,9 +293,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             run_ablation,
         )
 
+        pool = _make_pool(args)
         studies = [args.study] if args.study else list(ABLATIONS)
         for study in studies:
-            print(render_ablation(run_ablation(study, duration=args.duration)))
+            print(
+                render_ablation(
+                    run_ablation(study, duration=args.duration, pool=pool)
+                )
+            )
             print()
         return 0
 
@@ -165,7 +310,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             run_stability_sweep,
         )
 
-        print(render_stability(run_stability_sweep(duration=args.duration)))
+        print(
+            render_stability(
+                run_stability_sweep(
+                    duration=args.duration, pool=_make_pool(args)
+                )
+            )
+        )
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")

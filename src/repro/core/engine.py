@@ -1,0 +1,142 @@
+"""The formal simulation-engine contract and the engine registry.
+
+Every plant the control loop can drive — the mesoscopic
+store-and-forward simulator, the microscopic Krauss simulator, and any
+future backend (a real SUMO bridge, a hardware-in-the-loop rig) —
+implements the :class:`SimulationEngine` protocol:
+
+* ``time`` — the current simulation clock (s);
+* ``collector`` — the per-vehicle :class:`MetricsCollector`;
+* ``utilization`` — per-intersection :class:`UtilizationTracker` map;
+* ``observations()`` — ``Q(k)`` per intersection at the current time;
+* ``step(dt, phases)`` — advance ``dt`` seconds under the given
+  phase decisions (0 = transition/amber);
+* ``finalize()`` — close the books (idempotent);
+* ``incoming_queue_total(road_id)`` — stop-line queue of one road;
+* ``vehicles_in_network()`` / ``backlog_size()`` — occupancy
+  introspection used by the stability study.
+
+Engines are registered by name so experiments, the orchestration pool
+and the CLI can select them with a string.  The built-in engines are
+imported lazily: meso-only users never pay the microscopic import.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Mapping,
+    Optional,
+    Protocol,
+    TYPE_CHECKING,
+    runtime_checkable,
+)
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.utilization import UtilizationTracker
+from repro.model.queues import QueueObservation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.experiments.scenario import Scenario
+
+__all__ = [
+    "SimulationEngine",
+    "ENGINE_NAMES",
+    "register_engine",
+    "engine_names",
+    "provider_module",
+    "build_engine",
+]
+
+
+@runtime_checkable
+class SimulationEngine(Protocol):
+    """Structural contract every simulation backend must satisfy."""
+
+    time: float
+    collector: MetricsCollector
+    utilization: Dict[str, UtilizationTracker]
+
+    def observations(self) -> Dict[str, QueueObservation]:
+        """Build ``Q(k)`` for every intersection at the current time."""
+        ...
+
+    def step(self, dt: float, phases: Mapping[str, int]) -> None:
+        """Advance by ``dt`` seconds under the given phase decisions."""
+        ...
+
+    def finalize(self) -> None:
+        """Close the metric books; must be safe to call repeatedly."""
+        ...
+
+    def incoming_queue_total(self, road_id: str) -> int:
+        """Total queued vehicles at the stop line of one road."""
+        ...
+
+    def vehicles_in_network(self) -> int:
+        """Total vehicles currently inside the network."""
+        ...
+
+    def backlog_size(self) -> int:
+        """Vehicles generated but still gated outside a full entry."""
+        ...
+
+
+#: Engine constructors by name (``builder(scenario) -> SimulationEngine``).
+_ENGINE_BUILDERS: Dict[str, Callable[["Scenario"], SimulationEngine]] = {}
+
+#: Modules whose import registers a built-in engine.
+_BUILTIN_MODULES: Dict[str, str] = {
+    "meso": "repro.meso.simulator",
+    "micro": "repro.micro.simulator",
+}
+
+#: The engine names the CLI offers (built-ins; plugins add more).
+ENGINE_NAMES = tuple(sorted(_BUILTIN_MODULES))
+
+
+def register_engine(
+    name: str, builder: Callable[["Scenario"], SimulationEngine]
+) -> None:
+    """Register an engine constructor (``builder(scenario) -> engine``)."""
+    _ENGINE_BUILDERS[name] = builder
+
+
+def engine_names() -> tuple:
+    """All currently selectable engine names (built-in + registered)."""
+    return tuple(sorted(set(_ENGINE_BUILDERS) | set(_BUILTIN_MODULES)))
+
+
+def provider_module(name: str) -> Optional[str]:
+    """The module whose import registers engine ``name`` (if known).
+
+    Worker processes under the ``spawn`` start method begin with a
+    fresh registry; importing this module there re-establishes the
+    registration (engines register at import time, like the
+    built-ins).  Returns ``None`` for unregistered names or builders
+    defined in ``__main__`` (not importable elsewhere).
+    """
+    # The live registration wins over the built-in mapping: a plugin
+    # overriding a built-in name must run its own code in workers too.
+    builder = _ENGINE_BUILDERS.get(name)
+    if builder is not None:
+        module = getattr(builder, "__module__", None)
+        return None if module == "__main__" else module
+    return _BUILTIN_MODULES.get(name)
+
+
+def build_engine(scenario: "Scenario", engine: str = "meso") -> SimulationEngine:
+    """Instantiate a simulation engine for a scenario by name."""
+    if engine not in _ENGINE_BUILDERS and engine in _BUILTIN_MODULES:
+        # Importing the module registers the builder.
+        import importlib
+
+        importlib.import_module(_BUILTIN_MODULES[engine])
+    try:
+        builder = _ENGINE_BUILDERS[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; known: {list(engine_names())}"
+        )
+    return builder(scenario)

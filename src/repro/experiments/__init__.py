@@ -26,7 +26,12 @@ from repro.experiments.patterns import (
     interarrival_times,
     pattern_description,
 )
-from repro.experiments.runner import RunResult, build_engine, run_scenario
+from repro.experiments.runner import (
+    RunResult,
+    build_engine,
+    register_engine,
+    run_scenario,
+)
 from repro.experiments.scenario import DEFAULT_DURATIONS, Scenario, build_scenario
 
 __all__ = [
@@ -43,4 +48,5 @@ __all__ = [
     "RunResult",
     "run_scenario",
     "build_engine",
+    "register_engine",
 ]

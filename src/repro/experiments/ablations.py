@@ -23,8 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenario import build_scenario
+from repro.orchestration import ExperimentPool, RunSpec
 from repro.util.tables import render_table
 
 __all__ = ["AblationPoint", "run_ablation", "ABLATIONS", "render_ablation", "main"]
@@ -42,44 +41,23 @@ class AblationPoint:
     amber_share: float
 
 
-def _run_point(
-    study: str,
-    label: str,
-    controller: str,
-    params: Dict[str, Any],
-    pattern: str,
-    seed: int,
-    duration: float,
-    engine: str,
-) -> AblationPoint:
-    result = run_scenario(
-        build_scenario(pattern, seed=seed),
-        controller=controller,
-        controller_params=params,
-        duration=duration,
-        engine=engine,
-    )
-    return AblationPoint(
-        study=study,
-        label=label,
-        controller=controller,
-        params=params,
-        average_queuing_time=result.average_queuing_time,
-        amber_share=result.network_utilization().amber_share,
-    )
-
-
 def run_ablation(
     study: str,
     pattern: str = "I",
     seed: int = 1,
     duration: float = 1800.0,
     engine: str = "meso",
+    pool: Optional[ExperimentPool] = None,
 ) -> List[AblationPoint]:
-    """Run one named ablation study; see :data:`ABLATIONS` for names."""
+    """Run one named ablation study; see :data:`ABLATIONS` for names.
+
+    All configurations of the study are submitted to the pool as one
+    batch, so studies parallelize across workers.
+    """
     if study == "mini-slot":
         return run_mini_slot_ablation(
-            pattern=pattern, seed=seed, duration=duration, engine=engine
+            pattern=pattern, seed=seed, duration=duration, engine=engine,
+            pool=pool,
         )
     try:
         configurations = ABLATIONS[study]
@@ -87,11 +65,30 @@ def run_ablation(
         raise ValueError(
             f"unknown ablation {study!r}; known: {sorted(ABLATIONS)}"
         )
-    return [
-        _run_point(
-            study, label, controller, dict(params), pattern, seed, duration, engine
+    pool = pool or ExperimentPool()
+    specs = [
+        RunSpec(
+            pattern=pattern,
+            controller=controller,
+            controller_params=dict(params),
+            engine=engine,
+            seed=seed,
+            duration=duration,
         )
-        for label, controller, params in configurations
+        for _, controller, params in configurations
+    ]
+    return [
+        AblationPoint(
+            study=study,
+            label=label,
+            controller=controller,
+            params=dict(params),
+            average_queuing_time=result.average_queuing_time,
+            amber_share=result.network_utilization().amber_share,
+        )
+        for (label, controller, params), result in zip(
+            configurations, pool.run(specs)
+        )
     ]
 
 
@@ -121,44 +118,37 @@ ABLATIONS: Dict[str, List] = {
 }
 
 
-def _run_mini_slot_point(
-    label: str,
-    mini_slot: float,
-    pattern: str,
-    seed: int,
-    duration: float,
-    engine: str,
-) -> AblationPoint:
-    result = run_scenario(
-        build_scenario(pattern, seed=seed),
-        controller="util-bp",
-        duration=duration,
-        engine=engine,
-        mini_slot=mini_slot,
-    )
-    return AblationPoint(
-        study="mini-slot",
-        label=label,
-        controller="util-bp",
-        params={"mini_slot": mini_slot},
-        average_queuing_time=result.average_queuing_time,
-        amber_share=result.network_utilization().amber_share,
-    )
-
-
 def run_mini_slot_ablation(
     pattern: str = "I",
     seed: int = 1,
     duration: float = 1800.0,
     engine: str = "meso",
     mini_slots: Sequence[float] = (1.0, 2.0, 5.0),
+    pool: Optional[ExperimentPool] = None,
 ) -> List[AblationPoint]:
-    """The mini-slot study needs the runner's cadence, handled here."""
-    return [
-        _run_mini_slot_point(
-            f"mini-slot {m:.0f}s", m, pattern, seed, duration, engine
+    """The mini-slot study varies the runner's cadence, handled here."""
+    pool = pool or ExperimentPool()
+    specs = [
+        RunSpec(
+            pattern=pattern,
+            controller="util-bp",
+            engine=engine,
+            seed=seed,
+            duration=duration,
+            mini_slot=float(m),
         )
         for m in mini_slots
+    ]
+    return [
+        AblationPoint(
+            study="mini-slot",
+            label=f"mini-slot {m:.0f}s",
+            controller="util-bp",
+            params={"mini_slot": float(m)},
+            average_queuing_time=result.average_queuing_time,
+            amber_share=result.network_utilization().amber_share,
+        )
+        for m, result in zip(mini_slots, pool.run(specs))
     ]
 
 
@@ -184,12 +174,9 @@ def render_ablation(points: Sequence[AblationPoint]) -> str:
 
 def main() -> None:
     """Run every ablation study on the meso engine and print tables."""
+    pool = ExperimentPool()
     for study in ABLATIONS:
-        if study == "mini-slot":
-            points = run_mini_slot_ablation()
-        else:
-            points = run_ablation(study)
-        print(render_ablation(points))
+        print(render_ablation(run_ablation(study, pool=pool)))
         print()
 
 

@@ -10,10 +10,9 @@ series and renders it as an ASCII chart.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenario import build_scenario
+from repro.orchestration import ExperimentPool, RunSpec
 from repro.util.series import TimeSeries, render_series
 
 __all__ = ["Fig2Result", "run_fig2", "render_fig2", "main"]
@@ -55,6 +54,7 @@ def run_fig2(
     engine: str = "micro",
     seed: int = 1,
     segment_duration: float = 3600.0,
+    pool: Optional[ExperimentPool] = None,
 ) -> Fig2Result:
     """Regenerate Fig. 2.
 
@@ -67,33 +67,45 @@ def run_fig2(
     segment_duration:
         Mixed-pattern segment length (paper: 3600 s -> 4 h total).
         Benchmarks shrink it.
+    pool:
+        Orchestration pool to execute the sweep on; defaults to a
+        serial in-process pool.
     """
     if not periods:
         raise ValueError("need at least one period to sweep")
+    pool = pool or ExperimentPool()
     duration = 4 * segment_duration
+    scenario_params = {"mixed_segment_duration": segment_duration}
 
-    def scenario():
-        return build_scenario(
-            "mixed", seed=seed, mixed_segment_duration=segment_duration
-        )
-
-    cap_times: List[float] = []
-    for period in periods:
-        result = run_scenario(
-            scenario(),
+    specs = [
+        RunSpec(
+            pattern="mixed",
             controller="cap-bp",
             controller_params={"period": float(period)},
-            duration=duration,
             engine=engine,
+            seed=seed,
+            duration=duration,
+            scenario_params=scenario_params,
         )
-        cap_times.append(result.average_queuing_time)
-    util = run_scenario(
-        scenario(), controller="util-bp", duration=duration, engine=engine
+        for period in periods
+    ]
+    specs.append(
+        RunSpec(
+            pattern="mixed",
+            controller="util-bp",
+            engine=engine,
+            seed=seed,
+            duration=duration,
+            scenario_params=scenario_params,
+        )
     )
+    results = pool.run(specs)
     return Fig2Result(
         periods=tuple(float(p) for p in periods),
-        cap_bp_queuing_times=tuple(cap_times),
-        util_bp_queuing_time=util.average_queuing_time,
+        cap_bp_queuing_times=tuple(
+            result.average_queuing_time for result in results[:-1]
+        ),
+        util_bp_queuing_time=results[-1].average_queuing_time,
     )
 
 

@@ -14,11 +14,10 @@ and per-phase green share.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenario import build_scenario
 from repro.metrics.traces import PhaseTrace
+from repro.orchestration import ExperimentPool, RunSpec
 from repro.util.series import render_series
 from repro.util.tables import render_table
 
@@ -67,26 +66,35 @@ def run_fig34(
     duration: float = PAPER_HORIZON,
     cap_bp_period: float = 18.0,
     node_id: str = TOP_RIGHT_NODE,
+    pool: Optional[ExperimentPool] = None,
 ) -> Fig34Result:
     """Regenerate the data behind Figs. 3 and 4.
 
     ``cap_bp_period`` defaults to the paper's optimal period for
-    Pattern I (18 s, Table III).
+    Pattern I (18 s, Table III).  Both controller runs are submitted to
+    the pool as one batch.
     """
-    cap = run_scenario(
-        build_scenario("I", seed=seed),
-        controller="cap-bp",
-        controller_params={"period": cap_bp_period},
-        duration=duration,
-        engine=engine,
-        record_phases=(node_id,),
-    )
-    util = run_scenario(
-        build_scenario("I", seed=seed),
-        controller="util-bp",
-        duration=duration,
-        engine=engine,
-        record_phases=(node_id,),
+    pool = pool or ExperimentPool()
+    cap, util = pool.run(
+        [
+            RunSpec(
+                pattern="I",
+                controller="cap-bp",
+                controller_params={"period": cap_bp_period},
+                engine=engine,
+                seed=seed,
+                duration=duration,
+                record_phases=(node_id,),
+            ),
+            RunSpec(
+                pattern="I",
+                controller="util-bp",
+                engine=engine,
+                seed=seed,
+                duration=duration,
+                record_phases=(node_id,),
+            ),
+        ]
     )
     return Fig34Result(
         cap_bp_trace=cap.phase_traces[node_id],

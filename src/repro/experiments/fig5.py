@@ -9,13 +9,13 @@ records the same trace (sampled stop-line queue, Eq. 1 totals).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.experiments.fig34 import PAPER_HORIZON, TOP_RIGHT_NODE
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenario import build_scenario
 from repro.metrics.traces import QueueTrace
 from repro.model.grid import entry_road_id
 from repro.model.geometry import Direction
+from repro.orchestration import ExperimentPool, RunSpec
 from repro.util.series import render_series
 
 __all__ = ["Fig5Result", "EAST_IN_ROAD", "run_fig5", "render_fig5", "main"]
@@ -44,25 +44,33 @@ def run_fig5(
     duration: float = PAPER_HORIZON,
     cap_bp_period: float = 18.0,
     sample_interval: float = 5.0,
+    pool: Optional[ExperimentPool] = None,
 ) -> Fig5Result:
     """Regenerate the data behind Fig. 5."""
+    pool = pool or ExperimentPool()
     watch = ((TOP_RIGHT_NODE, EAST_IN_ROAD),)
-    cap = run_scenario(
-        build_scenario("I", seed=seed),
-        controller="cap-bp",
-        controller_params={"period": cap_bp_period},
-        duration=duration,
-        engine=engine,
-        record_queues=watch,
-        queue_sample_interval=sample_interval,
-    )
-    util = run_scenario(
-        build_scenario("I", seed=seed),
-        controller="util-bp",
-        duration=duration,
-        engine=engine,
-        record_queues=watch,
-        queue_sample_interval=sample_interval,
+    cap, util = pool.run(
+        [
+            RunSpec(
+                pattern="I",
+                controller="cap-bp",
+                controller_params={"period": cap_bp_period},
+                engine=engine,
+                seed=seed,
+                duration=duration,
+                record_queues=watch,
+                queue_sample_interval=sample_interval,
+            ),
+            RunSpec(
+                pattern="I",
+                controller="util-bp",
+                engine=engine,
+                seed=seed,
+                duration=duration,
+                record_queues=watch,
+                queue_sample_interval=sample_interval,
+            ),
+        ]
     )
     key = (TOP_RIGHT_NODE, EAST_IN_ROAD)
     cap_trace = cap.queue_traces[key]

@@ -4,58 +4,32 @@ This is the only place where the cyber part (controllers) and the
 physical part (simulators) touch: every mini-slot the runner reads the
 queue observations, asks each intersection's controller for a phase,
 and applies the decisions to the engine.
+
+The engine contract itself (``observations / step / finalize / time /
+collector / utilization``) and the name-based engine registry live in
+:mod:`repro.core.engine`; :func:`build_engine` and
+:func:`register_engine` are re-exported here for backwards
+compatibility.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
+# Re-exported for backwards compatibility: the registry moved to the
+# core layer so engines can register without importing experiments.
+from repro.core.engine import SimulationEngine, build_engine, register_engine
 from repro.control.factory import make_network_controller
 from repro.experiments.scenario import Scenario
-from repro.meso.simulator import MesoSimulator
 from repro.metrics.collector import Summary
 from repro.metrics.traces import PhaseTrace, QueueTrace
 from repro.metrics.utilization import UtilizationTracker
+from repro.model.phases import TRANSITION_PHASE_INDEX
 from repro.util.validation import check_positive
 
-__all__ = ["RunResult", "run_scenario", "build_engine"]
-
-#: Engines selectable by name.  The microscopic engine registers itself
-#: on import (see :mod:`repro.micro.simulator`) to avoid a hard import
-#: cost for meso-only users.
-_ENGINE_BUILDERS: Dict[str, Any] = {}
-
-
-def register_engine(name: str, builder: Any) -> None:
-    """Register an engine constructor (``builder(scenario) -> engine``)."""
-    _ENGINE_BUILDERS[name] = builder
-
-
-def _build_meso(scenario: Scenario) -> MesoSimulator:
-    return MesoSimulator(
-        network=scenario.network,
-        demand=scenario.demand,
-        turning=scenario.turning,
-        seed=scenario.seed,
-    )
-
-
-register_engine("meso", _build_meso)
-
-
-def build_engine(scenario: Scenario, engine: str = "meso"):
-    """Instantiate a simulation engine for a scenario by name."""
-    if engine == "micro" and "micro" not in _ENGINE_BUILDERS:
-        # Importing registers the builder.
-        import repro.micro.simulator  # noqa: F401
-    try:
-        builder = _ENGINE_BUILDERS[engine]
-    except KeyError:
-        raise ValueError(
-            f"unknown engine {engine!r}; known: {sorted(_ENGINE_BUILDERS)}"
-        )
-    return builder(scenario)
+__all__ = ["RunResult", "run_scenario", "build_engine", "register_engine"]
 
 
 @dataclass
@@ -69,6 +43,8 @@ class RunResult:
     phase_traces: Dict[str, PhaseTrace] = field(default_factory=dict)
     queue_traces: Dict[Tuple[str, ...], QueueTrace] = field(default_factory=dict)
     utilization: Dict[str, UtilizationTracker] = field(default_factory=dict)
+    vehicles_in_network: int = 0
+    backlog: int = 0
 
     @property
     def average_queuing_time(self) -> float:
@@ -84,6 +60,57 @@ class RunResult:
         for tracker in trackers[1:]:
             merged = merged.merged(tracker)
         return merged
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable view (crosses process/disk boundaries)."""
+        return {
+            "scenario_name": self.scenario_name,
+            "controller_name": self.controller_name,
+            "duration": self.duration,
+            "summary": self.summary.to_dict(),
+            "phase_traces": {
+                node_id: trace.to_dict()
+                for node_id, trace in self.phase_traces.items()
+            },
+            # JSON keys must be strings; the (node, road) key is kept
+            # inside each entry instead.
+            "queue_traces": [
+                {"node_id": node_id, "road_id": road_id, "trace": trace.to_dict()}
+                for (node_id, road_id), trace in self.queue_traces.items()
+            ],
+            "utilization": {
+                node_id: tracker.to_dict()
+                for node_id, tracker in self.utilization.items()
+            },
+            "vehicles_in_network": self.vehicles_in_network,
+            "backlog": self.backlog,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunResult":
+        """Rebuild a result serialized with :meth:`to_dict`."""
+        return cls(
+            scenario_name=payload["scenario_name"],
+            controller_name=payload["controller_name"],
+            duration=float(payload["duration"]),
+            summary=Summary.from_dict(payload["summary"]),
+            phase_traces={
+                node_id: PhaseTrace.from_dict(data)
+                for node_id, data in payload.get("phase_traces", {}).items()
+            },
+            queue_traces={
+                (entry["node_id"], entry["road_id"]): QueueTrace.from_dict(
+                    entry["trace"]
+                )
+                for entry in payload.get("queue_traces", [])
+            },
+            utilization={
+                node_id: UtilizationTracker.from_dict(data)
+                for node_id, data in payload.get("utilization", {}).items()
+            },
+            vehicles_in_network=int(payload.get("vehicles_in_network", 0)),
+            backlog=int(payload.get("backlog", 0)),
+        )
 
 
 def run_scenario(
@@ -127,7 +154,7 @@ def run_scenario(
     horizon = scenario.default_duration if duration is None else float(duration)
     check_positive("duration", horizon)
 
-    sim = build_engine(scenario, engine)
+    sim: SimulationEngine = build_engine(scenario, engine)
     network_controller = make_network_controller(
         controller, scenario.network, **(controller_params or {})
     )
@@ -145,11 +172,20 @@ def run_scenario(
         observations = sim.observations()
         decisions = network_controller.decide(observations)
         for node_id, trace in phase_traces.items():
-            trace.record(now, decisions[node_id])
-        if now >= next_queue_sample:
+            # The simulator treats intersections missing from the
+            # decision map as showing amber; record the same.
+            trace.record(
+                now, decisions.get(node_id, TRANSITION_PHASE_INDEX)
+            )
+        if queue_traces and now >= next_queue_sample:
             for (node_id, road), trace in queue_traces.items():
                 trace.sample(now, sim.incoming_queue_total(road))
-            next_queue_sample = now + queue_sample_interval
+            # Snap to the fixed sampling grid (0, T, 2T, ...): anchoring
+            # on ``now`` would drift whenever the mini-slot does not
+            # divide the interval.
+            next_queue_sample = (
+                math.floor(now / queue_sample_interval) + 1
+            ) * queue_sample_interval
         sim.step(mini_slot, decisions)
 
     sim.finalize()
@@ -161,4 +197,6 @@ def run_scenario(
         phase_traces=phase_traces,
         queue_traces=queue_traces,
         utilization=dict(sim.utilization),
+        vehicles_in_network=sim.vehicles_in_network(),
+        backlog=sim.backlog_size(),
     )

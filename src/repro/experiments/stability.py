@@ -17,11 +17,10 @@ bound for the whole horizon.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.control.factory import make_network_controller
-from repro.experiments.runner import build_engine
 from repro.experiments.scenario import build_scenario
+from repro.orchestration import ExperimentPool, RunSpec
 from repro.util.tables import render_table
 
 __all__ = ["StabilityPoint", "run_stability_sweep", "render_stability", "main"]
@@ -47,34 +46,6 @@ class StabilityPoint:
         )
 
 
-def _run_point(
-    controller: str,
-    params: Optional[Dict[str, Any]],
-    scale: float,
-    pattern: str,
-    seed: int,
-    duration: float,
-) -> StabilityPoint:
-    scenario = build_scenario(pattern, seed=seed, demand_scale=scale)
-    sim = build_engine(scenario, "meso")
-    net_controller = make_network_controller(
-        controller, scenario.network, **(params or {})
-    )
-    steps = int(duration)
-    for _ in range(steps):
-        sim.step(1.0, net_controller.decide(sim.observations()))
-    sim.finalize()
-    summary = sim.collector.summary(duration)
-    return StabilityPoint(
-        controller=controller,
-        demand_scale=scale,
-        average_queuing_time=summary.average_queuing_time,
-        vehicles_in_network=sim.vehicles_in_network(),
-        backlog=sim.backlog_size(),
-        network_capacity=scenario.network.total_capacity(),
-    )
-
-
 def run_stability_sweep(
     scales: Sequence[float] = (0.6, 0.8, 1.0, 1.2, 1.4),
     controllers: Sequence = (
@@ -84,17 +55,48 @@ def run_stability_sweep(
     pattern: str = "II",
     seed: int = 1,
     duration: float = 1800.0,
+    pool: Optional[ExperimentPool] = None,
 ) -> List[StabilityPoint]:
-    """Sweep demand scales for each controller (uniform Pattern II)."""
+    """Sweep demand scales for each controller (uniform Pattern II).
+
+    The whole (controller x scale) grid is submitted to the pool as one
+    batch; terminal occupancy comes from the runner's
+    ``vehicles_in_network`` / ``backlog`` result fields.
+    """
     if not scales:
         raise ValueError("need at least one demand scale")
-    points: List[StabilityPoint] = []
-    for name, params in controllers:
-        for scale in scales:
-            points.append(
-                _run_point(name, params, scale, pattern, seed, duration)
-            )
-    return points
+    pool = pool or ExperimentPool()
+    # Demand scaling leaves the road network itself untouched, so the
+    # storage capacity is the same for every cell.
+    capacity = build_scenario(pattern, seed=seed).network.total_capacity()
+    cells = [
+        (name, params, scale)
+        for name, params in controllers
+        for scale in scales
+    ]
+    specs = [
+        RunSpec(
+            pattern=pattern,
+            controller=name,
+            controller_params=params or {},
+            engine="meso",
+            seed=seed,
+            duration=duration,
+            scenario_params={"demand_scale": float(scale)},
+        )
+        for name, params, scale in cells
+    ]
+    return [
+        StabilityPoint(
+            controller=name,
+            demand_scale=scale,
+            average_queuing_time=result.average_queuing_time,
+            vehicles_in_network=result.vehicles_in_network,
+            backlog=result.backlog,
+            network_capacity=capacity,
+        )
+        for (name, _, scale), result in zip(cells, pool.run(specs))
+    ]
 
 
 def max_stable_scale(points: Sequence[StabilityPoint], controller: str) -> float:

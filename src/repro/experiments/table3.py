@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenario import DEFAULT_DURATIONS, build_scenario
+from repro.experiments.scenario import DEFAULT_DURATIONS
+from repro.orchestration import ExperimentPool, RunSpec
 from repro.util.tables import render_table
 
 __all__ = ["Table3Row", "PAPER_TABLE3", "run_table3", "render_table3", "main"]
@@ -60,6 +60,7 @@ def run_table3(
     periods: Sequence[float] = DEFAULT_PERIODS,
     duration_scale: float = 1.0,
     mixed_segment_duration: Optional[float] = None,
+    pool: Optional[ExperimentPool] = None,
 ) -> List[Table3Row]:
     """Reproduce Table III.
 
@@ -79,48 +80,62 @@ def run_table3(
     mixed_segment_duration:
         Override for the mixed pattern's per-segment length; defaults
         to ``3600 * duration_scale``.
+    pool:
+        Orchestration pool; every (pattern x period) cell plus the
+        UTIL-BP reference runs are submitted as one batch, so the whole
+        table parallelizes.  Defaults to a serial in-process pool.
     """
+    if not periods:
+        raise ValueError("need at least one period to sweep")
     if duration_scale <= 0:
         raise ValueError(f"duration_scale must be > 0, got {duration_scale}")
+    pool = pool or ExperimentPool()
+    segment = (
+        mixed_segment_duration
+        if mixed_segment_duration is not None
+        else 3600.0 * duration_scale
+    )
+
+    specs: List[RunSpec] = []
+    for pattern in patterns:
+        duration = DEFAULT_DURATIONS[pattern] * duration_scale
+        scenario_params = {"mixed_segment_duration": segment}
+        for period in periods:
+            specs.append(
+                RunSpec(
+                    pattern=pattern,
+                    controller="cap-bp",
+                    controller_params={"period": float(period)},
+                    engine=engine,
+                    seed=seed,
+                    duration=duration,
+                    scenario_params=scenario_params,
+                )
+            )
+        specs.append(
+            RunSpec(
+                pattern=pattern,
+                controller="util-bp",
+                engine=engine,
+                seed=seed,
+                duration=duration,
+                scenario_params=scenario_params,
+            )
+        )
+
+    results = iter(pool.run(specs))
     rows: List[Table3Row] = []
     for pattern in patterns:
-        segment = (
-            mixed_segment_duration
-            if mixed_segment_duration is not None
-            else 3600.0 * duration_scale
+        by_period = [(period, next(results)) for period in periods]
+        util = next(results)
+        best_period, best = min(
+            by_period, key=lambda item: item[1].average_queuing_time
         )
-        duration = DEFAULT_DURATIONS[pattern] * duration_scale
-
-        def make_scenario():
-            return build_scenario(
-                pattern, seed=seed, mixed_segment_duration=segment
-            )
-
-        best_period = None
-        best_queuing = None
-        for period in periods:
-            result = run_scenario(
-                make_scenario(),
-                controller="cap-bp",
-                controller_params={"period": period},
-                duration=duration,
-                engine=engine,
-            )
-            if best_queuing is None or result.average_queuing_time < best_queuing:
-                best_queuing = result.average_queuing_time
-                best_period = period
-        util = run_scenario(
-            make_scenario(),
-            controller="util-bp",
-            duration=duration,
-            engine=engine,
-        )
-        assert best_period is not None and best_queuing is not None
         rows.append(
             Table3Row(
                 pattern=pattern,
-                cap_bp_best_period=best_period,
-                cap_bp_queuing_time=best_queuing,
+                cap_bp_best_period=float(best_period),
+                cap_bp_queuing_time=best.average_queuing_time,
                 util_bp_queuing_time=util.average_queuing_time,
             )
         )

@@ -23,6 +23,7 @@ import math
 from collections import deque
 from typing import Deque, Dict, List, Mapping, Optional, Tuple
 
+from repro.core.engine import register_engine
 from repro.meso.road_state import RoadState
 from repro.meso.vehicle import MesoVehicle
 from repro.metrics.collector import MetricsCollector
@@ -470,3 +471,17 @@ class MesoSimulator:
     def backlog_size(self) -> int:
         """Vehicles generated but still waiting outside a full entry."""
         return sum(len(q) for q in self._backlog.values())
+
+
+def _build_meso(scenario) -> MesoSimulator:
+    # ``scenario`` is a repro.experiments.scenario.Scenario; typed loosely
+    # to keep the model layer import-independent of the experiments layer.
+    return MesoSimulator(
+        network=scenario.network,
+        demand=scenario.demand,
+        turning=scenario.turning,
+        seed=scenario.seed,
+    )
+
+
+register_engine("meso", _build_meso)

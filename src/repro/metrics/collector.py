@@ -12,6 +12,7 @@ congested controller cannot hide vehicles by never delivering them.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -38,6 +39,24 @@ class Summary:
             f"avg_queuing={self.average_queuing_time:.2f}s, "
             f"avg_travel={self.average_travel_time:.2f}s, "
             f"throughput={self.throughput_per_hour:.0f}/h)"
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        """A JSON-serializable view of the summary."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "Summary":
+        """Rebuild a summary serialized with :meth:`to_dict`."""
+        return cls(
+            duration=float(payload["duration"]),
+            vehicles_entered=int(payload["vehicles_entered"]),
+            vehicles_left=int(payload["vehicles_left"]),
+            average_queuing_time=float(payload["average_queuing_time"]),
+            average_travel_time=float(payload["average_travel_time"]),
+            total_queuing_time=float(payload["total_queuing_time"]),
+            max_queuing_time=float(payload["max_queuing_time"]),
+            throughput_per_hour=float(payload["throughput_per_hour"]),
         )
 
 

@@ -79,6 +79,23 @@ class PhaseTrace:
             series.append(max(start, end - 1e-9), float(phase))
         return series
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable view of the trace."""
+        return {
+            "node_id": self.node_id,
+            "times": list(self.times),
+            "phases": list(self.phases),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PhaseTrace":
+        """Rebuild a trace serialized with :meth:`to_dict`."""
+        return cls(
+            node_id=payload["node_id"],
+            times=[float(t) for t in payload["times"]],
+            phases=[int(p) for p in payload["phases"]],
+        )
+
 
 @dataclass
 class QueueTrace:
@@ -108,3 +125,21 @@ class QueueTrace:
     def max(self) -> float:
         """Maximum sampled queue length."""
         return self.series.max()
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable view of the trace."""
+        return {
+            "road_id": self.road_id,
+            "movement": list(self.movement) if self.movement else None,
+            "series": self.series.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueueTrace":
+        """Rebuild a trace serialized with :meth:`to_dict`."""
+        movement = payload.get("movement")
+        return cls(
+            road_id=payload["road_id"],
+            movement=tuple(movement) if movement else None,
+            series=TimeSeries.from_dict(payload["series"]),
+        )

@@ -103,3 +103,28 @@ class UtilizationTracker:
         ):
             setattr(merged, name, getattr(self, name) + getattr(other, name))
         return merged
+
+    def to_dict(self) -> Dict:
+        """A JSON-serializable view of the tracker."""
+        return {
+            "node_id": self.node_id,
+            "green_time": self.green_time,
+            "amber_time": self.amber_time,
+            "service_capacity": self.service_capacity,
+            "vehicles_served": self.vehicles_served,
+            "wasted_green_slots": self.wasted_green_slots,
+            "green_slots": self.green_slots,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "UtilizationTracker":
+        """Rebuild a tracker serialized with :meth:`to_dict`."""
+        return cls(
+            node_id=payload["node_id"],
+            green_time=float(payload["green_time"]),
+            amber_time=float(payload["amber_time"]),
+            service_capacity=float(payload["service_capacity"]),
+            vehicles_served=int(payload["vehicles_served"]),
+            wasted_green_slots=int(payload["wasted_green_slots"]),
+            green_slots=int(payload["green_slots"]),
+        )

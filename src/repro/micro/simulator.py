@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Mapping, Optional, Tuple
 
-from repro.experiments.runner import register_engine
+from repro.core.engine import register_engine
 from repro.experiments.scenario import Scenario
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.utilization import UtilizationTracker

@@ -1,0 +1,32 @@
+"""Parallel sweep orchestration.
+
+The layer between the closed-loop runner and the experiment drivers:
+
+* :mod:`repro.orchestration.spec` — :class:`RunSpec` (one hashable,
+  serializable simulation cell) and :class:`SweepGrid` (cartesian
+  expansion of sweep axes);
+* :mod:`repro.orchestration.pool` — :class:`ExperimentPool`, the
+  process-parallel executor with a serial in-process fallback and an
+  on-disk JSON result cache keyed by spec hash.
+
+Every table/figure driver and ``scripts/collect_results.py`` submit
+their sweeps through this layer; ``repro sweep --workers N`` exposes it
+on the command line.
+"""
+
+from repro.orchestration.pool import ExperimentPool, PoolStats
+from repro.orchestration.spec import (
+    SPEC_SCHEMA_VERSION,
+    RunSpec,
+    SweepGrid,
+    execute_spec,
+)
+
+__all__ = [
+    "RunSpec",
+    "SweepGrid",
+    "ExperimentPool",
+    "PoolStats",
+    "execute_spec",
+    "SPEC_SCHEMA_VERSION",
+]

@@ -1,0 +1,232 @@
+"""The process-parallel sweep executor with an on-disk result cache.
+
+Every (pattern x controller x period x seed) cell of a sweep is an
+independent simulation whose outcome is fully determined by its
+:class:`~repro.orchestration.spec.RunSpec` — the spec carries the seed,
+so results cannot depend on which worker runs a cell or in what order.
+:class:`ExperimentPool` exploits that:
+
+* ``workers > 1`` fans cells out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`;
+* ``workers == 1`` runs them serially in-process (no executor, no
+  pickling overhead — the debugging-friendly path);
+* with a ``cache_dir``, every finished cell is persisted as JSON keyed
+  by the spec's content hash, and re-submitting a completed spec loads
+  the stored result instead of simulating again.
+
+Results travel between processes (and to/from disk) as the plain-dict
+form produced by ``RunResult.to_dict``; both execution paths
+reconstruct through ``RunResult.from_dict`` so serial and parallel runs
+return identical objects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.engine import provider_module
+from repro.experiments.runner import RunResult
+from repro.orchestration.spec import SPEC_SCHEMA_VERSION, RunSpec
+
+__all__ = ["ExperimentPool", "PoolStats"]
+
+
+def _execute_payload(
+    spec: RunSpec, engine_module: Optional[str] = None
+) -> Dict[str, Any]:
+    """Worker entry point: run one spec, return its serializable form.
+
+    ``engine_module`` re-registers a plugin engine in the worker: under
+    the ``spawn`` start method workers begin with a fresh registry, so
+    the module that registered the engine in the parent is imported
+    here first (importing is what registers, as for the built-ins).
+    """
+    if engine_module is not None:
+        import importlib
+
+        importlib.import_module(engine_module)
+    return spec.execute().to_dict()
+
+
+@dataclass
+class PoolStats:
+    """Counts of how the pool satisfied the submitted cells.
+
+    Both counters are per *unique* spec: duplicate occurrences of one
+    spec within a batch are satisfied by a single execution or a
+    single cache read.
+    """
+
+    executed: int = 0
+    cache_hits: int = 0
+
+    @property
+    def total(self) -> int:
+        """Unique cells satisfied so far (executed + served from cache)."""
+        return self.executed + self.cache_hits
+
+
+class ExperimentPool:
+    """Executes :class:`RunSpec` batches, in parallel when asked.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes; ``1`` (default) runs everything serially
+        in-process.
+    cache_dir:
+        Directory for the JSON result cache; ``None`` disables caching.
+        The directory is created on first write.  Entries are keyed by
+        the spec content hash (schema-versioned), so a warm cache makes
+        re-running a completed sweep free.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[Union[str, os.PathLike]] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.stats = PoolStats()
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, specs: Iterable[RunSpec]) -> List[RunResult]:
+        """Execute a batch of specs; results match the input order.
+
+        Cache hits are returned without simulating; duplicate specs in
+        one batch are executed once and fanned back out.
+        """
+        spec_list = list(specs)
+        results: List[Optional[RunResult]] = [None] * len(spec_list)
+
+        # Group duplicate cells so each unique spec is satisfied once —
+        # one cache read or one execution, fanned out to every index.
+        groups: Dict[RunSpec, List[int]] = {}
+        for index, spec in enumerate(spec_list):
+            groups.setdefault(spec, []).append(index)
+
+        pending: Dict[RunSpec, List[int]] = {}
+        for spec, indices in groups.items():
+            cached = self._cache_load(spec)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                for index in indices:
+                    results[index] = cached
+            else:
+                pending[spec] = indices
+
+        if pending:
+            unique = list(pending)
+            if self.workers == 1 or len(unique) == 1:
+                for spec in unique:
+                    self._finish(spec, _execute_payload(spec), pending, results)
+            else:
+                self._run_parallel(unique, pending, results)
+
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    def run_one(self, spec: RunSpec) -> RunResult:
+        """Execute a single spec (cache-aware)."""
+        return self.run([spec])[0]
+
+    def _finish(
+        self,
+        spec: RunSpec,
+        payload: Dict[str, Any],
+        pending: Dict[RunSpec, List[int]],
+        results: List[Optional[RunResult]],
+    ) -> None:
+        """Account, cache and fan out one completed cell."""
+        self.stats.executed += 1
+        self._cache_store(spec, payload)
+        result = RunResult.from_dict(payload)
+        for index in pending[spec]:
+            results[index] = result
+
+    def _run_parallel(
+        self,
+        specs: Sequence[RunSpec],
+        pending: Dict[RunSpec, List[int]],
+        results: List[Optional[RunResult]],
+    ) -> None:
+        """Fan specs out over worker processes.
+
+        Each cell is cached the moment it completes — not when the
+        whole batch does — so an interrupted or partially failed sweep
+        resumes from the cells that finished.  If a cell raises: with a
+        cache, the remaining completions are still drained into it
+        before the first error propagates; without one, draining would
+        only burn compute on results nobody keeps, so not-yet-started
+        cells are cancelled and the error surfaces promptly.
+        """
+        max_workers = min(self.workers, len(specs))
+        first_error: Optional[BaseException] = None
+        with ProcessPoolExecutor(max_workers=max_workers) as executor:
+            futures = {
+                executor.submit(
+                    _execute_payload, spec, provider_module(spec.engine)
+                ): spec
+                for spec in specs
+            }
+            for future in as_completed(futures):
+                try:
+                    payload = future.result()
+                except BaseException as error:  # noqa: BLE001 - re-raised
+                    if first_error is None:
+                        first_error = error
+                        if self.cache_dir is None:
+                            for other in futures:
+                                other.cancel()
+                    continue
+                self._finish(futures[future], payload, pending, results)
+        if first_error is not None:
+            raise first_error
+
+    # -- cache --------------------------------------------------------------
+
+    def _cache_path(self, spec: RunSpec) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{spec.spec_hash()}.json"
+
+    def _cache_load(self, spec: RunSpec) -> Optional[RunResult]:
+        path = self._cache_path(spec)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None  # unreadable entries are treated as misses
+        if (
+            entry.get("version") != SPEC_SCHEMA_VERSION
+            or entry.get("spec") != spec.to_dict()
+        ):
+            return None  # stale schema or (vanishingly unlikely) hash clash
+        return RunResult.from_dict(entry["result"])
+
+    def _cache_store(self, spec: RunSpec, payload: Dict[str, Any]) -> None:
+        path = self._cache_path(spec)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": SPEC_SCHEMA_VERSION,
+            "spec": spec.to_dict(),
+            "result": payload,
+        }
+        # Write-then-rename so concurrent readers never see a torn file.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(entry, handle)
+        os.replace(tmp, path)

@@ -1,0 +1,275 @@
+"""Declarative run specifications and sweep grids.
+
+A :class:`RunSpec` is the unit of work of the orchestration layer: a
+hashable, picklable, JSON-serializable value object that fully
+determines one closed-loop simulation — scenario pattern and build
+parameters, controller and its parameters, engine, seed, horizon and
+recording options.  Because a spec *is* the run (all randomness derives
+from the spec's seed), any worker process executing the same spec
+produces the identical result, which is what makes process-parallel
+sweeps and on-disk result caching sound.
+
+:class:`SweepGrid` expands cartesian products of patterns, controllers,
+seeds, engines and horizons into spec lists — the shape of every
+table/figure sweep in the paper and of the larger grids the
+orchestration pool exists to serve.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from itertools import product
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.experiments.runner import RunResult, run_scenario
+from repro.experiments.scenario import Scenario, build_scenario
+
+__all__ = ["RunSpec", "SweepGrid", "execute_spec", "SPEC_SCHEMA_VERSION"]
+
+#: Bump when the spec or result schema changes incompatibly; part of
+#: the spec hash so stale cache entries are never reused.
+SPEC_SCHEMA_VERSION = 1
+
+#: Parameter mappings are stored as sorted ``(key, value)`` tuples so
+#: specs stay hashable; this alias names that shape.
+FrozenParams = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze_params(params: Union[None, Mapping[str, Any], Sequence]) -> FrozenParams:
+    """Normalize a parameter mapping to a sorted, hashable tuple."""
+    if not params:
+        return ()
+    items = params.items() if isinstance(params, Mapping) else params
+    frozen = []
+    for key, value in items:
+        if isinstance(value, (list, tuple)):
+            value = tuple(value)
+        frozen.append((str(key), value))
+    return tuple(sorted(frozen))
+
+
+def _params_to_json(params: FrozenParams) -> list:
+    """Frozen params as pure JSON values (tuple values become lists)."""
+    return [
+        [key, list(value) if isinstance(value, tuple) else value]
+        for key, value in params
+    ]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully specified (scenario x controller x engine x seed) cell.
+
+    Parameters given as mappings are frozen to sorted tuples on
+    construction, so instances are hashable and usable as dict keys.
+    ``duration=None`` means the scenario's default horizon.
+    """
+
+    pattern: str = "I"
+    controller: str = "util-bp"
+    controller_params: FrozenParams = ()
+    engine: str = "meso"
+    seed: int = 1
+    duration: Optional[float] = None
+    mini_slot: float = 1.0
+    queue_sample_interval: float = 5.0
+    scenario_params: FrozenParams = ()
+    record_phases: Tuple[str, ...] = ()
+    record_queues: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "controller_params", _freeze_params(self.controller_params)
+        )
+        object.__setattr__(
+            self, "scenario_params", _freeze_params(self.scenario_params)
+        )
+        object.__setattr__(self, "record_phases", tuple(self.record_phases))
+        object.__setattr__(
+            self,
+            "record_queues",
+            tuple((node, road) for node, road in self.record_queues),
+        )
+        if self.duration is not None:
+            object.__setattr__(self, "duration", float(self.duration))
+
+    # -- views --------------------------------------------------------------
+
+    def controller_kwargs(self) -> Dict[str, Any]:
+        """The controller parameters as a plain keyword dict."""
+        return dict(self.controller_params)
+
+    def scenario_kwargs(self) -> Dict[str, Any]:
+        """The extra ``build_scenario`` parameters as a keyword dict."""
+        return dict(self.scenario_params)
+
+    def label(self) -> str:
+        """A short human-readable cell label for tables and logs."""
+        params = ",".join(f"{k}={v}" for k, v in self.controller_params)
+        suffix = f"({params})" if params else ""
+        return (
+            f"{self.pattern}/{self.controller}{suffix}"
+            f"/{self.engine}/seed{self.seed}"
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable view of the spec.
+
+        Uses pure JSON types throughout (tuples become lists), so the
+        output survives a ``json`` round trip unchanged — the cache
+        relies on that to validate stored entries by equality.
+        """
+        return {
+            "pattern": self.pattern,
+            "controller": self.controller,
+            "controller_params": _params_to_json(self.controller_params),
+            "engine": self.engine,
+            "seed": self.seed,
+            "duration": self.duration,
+            "mini_slot": self.mini_slot,
+            "queue_sample_interval": self.queue_sample_interval,
+            "scenario_params": _params_to_json(self.scenario_params),
+            "record_phases": list(self.record_phases),
+            "record_queues": [list(pair) for pair in self.record_queues],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunSpec":
+        """Rebuild a spec serialized with :meth:`to_dict`."""
+        return cls(
+            pattern=payload["pattern"],
+            controller=payload["controller"],
+            controller_params=tuple(
+                (k, v) for k, v in payload.get("controller_params", [])
+            ),
+            engine=payload["engine"],
+            seed=int(payload["seed"]),
+            duration=payload.get("duration"),
+            mini_slot=float(payload.get("mini_slot", 1.0)),
+            queue_sample_interval=float(
+                payload.get("queue_sample_interval", 5.0)
+            ),
+            scenario_params=tuple(
+                (k, v) for k, v in payload.get("scenario_params", [])
+            ),
+            record_phases=tuple(payload.get("record_phases", ())),
+            record_queues=tuple(
+                (n, r) for n, r in payload.get("record_queues", ())
+            ),
+        )
+
+    def spec_hash(self) -> str:
+        """Stable content hash; the result-cache key for this spec."""
+        canonical = json.dumps(
+            {"version": SPEC_SCHEMA_VERSION, "spec": self.to_dict()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # -- execution ----------------------------------------------------------
+
+    def make_scenario(self) -> Scenario:
+        """Build the scenario this spec describes."""
+        return build_scenario(
+            self.pattern, seed=self.seed, **self.scenario_kwargs()
+        )
+
+    def execute(self) -> RunResult:
+        """Run the cell (in whatever process this is called from)."""
+        return run_scenario(
+            self.make_scenario(),
+            controller=self.controller,
+            controller_params=self.controller_kwargs(),
+            duration=self.duration,
+            engine=self.engine,
+            mini_slot=self.mini_slot,
+            record_phases=self.record_phases,
+            record_queues=self.record_queues,
+            queue_sample_interval=self.queue_sample_interval,
+        )
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Module-level alias of :meth:`RunSpec.execute` (picklable target)."""
+    return spec.execute()
+
+
+#: A controller axis entry: a name, or ``(name, params)``.
+ControllerEntry = Union[str, Tuple[str, Optional[Mapping[str, Any]]]]
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """Cartesian product of sweep axes, expandable to :class:`RunSpec` s.
+
+    Axes: traffic ``patterns``, ``controllers`` (name or
+    ``(name, params)`` entries), ``seeds``, ``engines`` and
+    ``durations``.  Scalar run options (``mini_slot``,
+    ``scenario_params``, recording) are shared by every cell.
+    """
+
+    patterns: Tuple[str, ...] = ("I",)
+    controllers: Tuple[Tuple[str, FrozenParams], ...] = (("util-bp", ()),)
+    seeds: Tuple[int, ...] = (1,)
+    engines: Tuple[str, ...] = ("meso",)
+    durations: Tuple[Optional[float], ...] = (None,)
+    mini_slot: float = 1.0
+    scenario_params: FrozenParams = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "patterns", tuple(self.patterns))
+        controllers = []
+        for entry in self.controllers:
+            if isinstance(entry, str):
+                controllers.append((entry, ()))
+            else:
+                name, params = entry
+                controllers.append((name, _freeze_params(params)))
+        object.__setattr__(self, "controllers", tuple(controllers))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        object.__setattr__(self, "engines", tuple(self.engines))
+        durations = tuple(
+            None if d is None else float(d) for d in self.durations
+        )
+        object.__setattr__(self, "durations", durations)
+        object.__setattr__(
+            self, "scenario_params", _freeze_params(self.scenario_params)
+        )
+
+    def __len__(self) -> int:
+        return (
+            len(self.patterns)
+            * len(self.controllers)
+            * len(self.seeds)
+            * len(self.engines)
+            * len(self.durations)
+        )
+
+    def specs(self) -> Tuple[RunSpec, ...]:
+        """Expand the grid into one spec per cell (deterministic order)."""
+        out = []
+        for pattern, (controller, params), seed, engine, duration in product(
+            self.patterns,
+            self.controllers,
+            self.seeds,
+            self.engines,
+            self.durations,
+        ):
+            out.append(
+                RunSpec(
+                    pattern=pattern,
+                    controller=controller,
+                    controller_params=params,
+                    engine=engine,
+                    seed=seed,
+                    duration=duration,
+                    mini_slot=self.mini_slot,
+                    scenario_params=self.scenario_params,
+                )
+            )
+        return tuple(out)

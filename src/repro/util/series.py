@@ -39,6 +39,23 @@ class TimeSeries:
     def __len__(self) -> int:
         return len(self.times)
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable view of the series."""
+        return {
+            "name": self.name,
+            "times": list(self.times),
+            "values": list(self.values),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TimeSeries":
+        """Rebuild a series serialized with :meth:`to_dict`."""
+        return cls(
+            name=payload["name"],
+            times=[float(t) for t in payload["times"]],
+            values=[float(v) for v in payload["values"]],
+        )
+
     def mean(self) -> float:
         """Arithmetic mean of the sample values (0.0 when empty)."""
         if not self.values:

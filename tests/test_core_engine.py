@@ -1,0 +1,156 @@
+"""Engine-contract conformance suite (repro.core.engine).
+
+One parametrized set of checks run against every registered backend:
+the protocol surface, observation shape, determinism under a fixed
+seed, and finalize idempotence.  A new engine passes this suite or it
+is not an engine.
+"""
+
+import pytest
+
+from repro.core.engine import (
+    ENGINE_NAMES,
+    SimulationEngine,
+    build_engine,
+    engine_names,
+    provider_module,
+    register_engine,
+)
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import build_scenario
+from repro.model.phases import TRANSITION_PHASE_INDEX
+
+ENGINES = ("meso", "micro")
+
+#: Short horizons keep the micro engine affordable in CI.
+HORIZON = {"meso": 90.0, "micro": 30.0}
+
+
+def _make(engine: str):
+    return build_engine(build_scenario("I", seed=7), engine)
+
+
+def _drive(sim, steps: int, phase: int = 1) -> None:
+    decisions = {node_id: phase for node_id in sim.network.intersections}
+    for _ in range(steps):
+        sim.step(1.0, decisions)
+
+
+class TestRegistry:
+    def test_builtin_names_exposed(self):
+        assert ENGINE_NAMES == ("meso", "micro")
+        for name in ENGINE_NAMES:
+            assert name in engine_names()
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            build_engine(build_scenario("I"), "warp-drive")
+
+    def test_provider_module(self):
+        assert provider_module("meso") == "repro.meso.simulator"
+        assert provider_module("micro") == "repro.micro.simulator"
+        assert provider_module("nonexistent") is None
+
+        def builder(scenario):  # registered from this test module
+            return build_engine(scenario, "meso")
+
+        register_engine("test-provider", builder)
+        try:
+            assert provider_module("test-provider") == builder.__module__
+        finally:
+            from repro.core.engine import _ENGINE_BUILDERS
+
+            _ENGINE_BUILDERS.pop("test-provider", None)
+
+    def test_custom_registration(self):
+        calls = []
+
+        def builder(scenario):
+            calls.append(scenario.name)
+            return build_engine(scenario, "meso")
+
+        register_engine("test-custom", builder)
+        try:
+            sim = build_engine(build_scenario("I", seed=3), "test-custom")
+            assert calls and isinstance(sim, SimulationEngine)
+            assert "test-custom" in engine_names()
+        finally:
+            from repro.core.engine import _ENGINE_BUILDERS
+
+            _ENGINE_BUILDERS.pop("test-custom", None)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestEngineContract:
+    def test_satisfies_protocol(self, engine):
+        sim = _make(engine)
+        assert isinstance(sim, SimulationEngine)
+        assert sim.time == 0.0
+        assert sim.vehicles_in_network() == 0
+        assert sim.backlog_size() == 0
+
+    def test_observation_shape(self, engine):
+        sim = _make(engine)
+        _drive(sim, 5)
+        observations = sim.observations()
+        network = sim.network
+        assert set(observations) == set(network.intersections)
+        for node_id, observation in observations.items():
+            intersection = network.intersections[node_id]
+            assert observation.time == sim.time
+            assert set(observation.movement_queues) == set(
+                intersection.movements
+            )
+            assert set(observation.out_queues) == set(intersection.out_roads)
+            assert set(observation.out_capacities) == set(
+                intersection.out_roads
+            )
+            assert all(q >= 0 for q in observation.movement_queues.values())
+
+    def test_determinism_under_fixed_seed(self, engine):
+        results = [
+            run_scenario(
+                build_scenario("I", seed=11),
+                controller="util-bp",
+                duration=HORIZON[engine],
+                engine=engine,
+                record_phases=("J00",),
+                record_queues=(("J00", "IN:N@J00"),),
+            )
+            for _ in range(2)
+        ]
+        assert results[0].summary == results[1].summary
+        assert results[0].phase_traces == results[1].phase_traces
+        assert results[0].queue_traces == results[1].queue_traces
+        assert results[0].utilization == results[1].utilization
+        assert (
+            results[0].vehicles_in_network == results[1].vehicles_in_network
+        )
+
+    def test_finalize_idempotent(self, engine):
+        sim = _make(engine)
+        _drive(sim, int(HORIZON[engine]))
+        sim.finalize()
+        first = sim.collector.summary(HORIZON[engine])
+        sim.finalize()  # must be a no-op
+        assert sim.collector.summary(HORIZON[engine]) == first
+
+    def test_step_after_finalize_rejected(self, engine):
+        sim = _make(engine)
+        _drive(sim, 3)
+        sim.finalize()
+        with pytest.raises(RuntimeError, match="finalized"):
+            sim.step(1.0, {})
+
+    def test_amber_serves_nothing(self, engine):
+        sim = _make(engine)
+        decisions = {
+            node_id: TRANSITION_PHASE_INDEX
+            for node_id in sim.network.intersections
+        }
+        for _ in range(20):
+            sim.step(1.0, decisions)
+        assert sim.collector.vehicles_left == 0
+        assert all(
+            tracker.green_time == 0.0 for tracker in sim.utilization.values()
+        )

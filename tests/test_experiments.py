@@ -13,6 +13,7 @@ from repro.experiments.patterns import (
 from repro.experiments.runner import build_engine, run_scenario
 from repro.experiments.scenario import DEFAULT_DURATIONS, build_scenario
 from repro.model.geometry import Direction
+from repro.model.phases import TRANSITION_PHASE_INDEX
 
 
 class TestPatterns:
@@ -162,6 +163,57 @@ class TestRunner:
         )
         trace = result.queue_traces[("J00", "IN:N@J00")]
         assert len(trace.series) == 10
+
+    def test_phase_trace_tolerates_missing_decision(self, monkeypatch):
+        """A controller omitting a node records amber, like the plant."""
+        import repro.experiments.runner as runner_module
+
+        real = runner_module.make_network_controller
+
+        def partial(name, network, **kwargs):
+            controller = real(name, network, **kwargs)
+
+            class DropsJ00:
+                def decide(self, observations):
+                    decisions = dict(controller.decide(observations))
+                    decisions.pop("J00", None)
+                    return decisions
+
+            return DropsJ00()
+
+        monkeypatch.setattr(
+            runner_module, "make_network_controller", partial
+        )
+        result = run_scenario(
+            build_scenario("II", seed=1, rows=1, cols=1),
+            controller="util-bp",
+            duration=30,
+            record_phases=("J00",),
+        )
+        assert set(result.phase_traces["J00"].phases) == {
+            TRANSITION_PHASE_INDEX
+        }
+
+    def test_queue_samples_snap_to_fixed_grid(self):
+        """No drift when the mini-slot does not divide the interval.
+
+        With a 2 s mini-slot and a 5 s interval, each grid point
+        (0, 5, 10, ...) must be sampled at the first step on or after
+        it — never re-anchored to the previous sample time (which
+        would degrade the cadence to every 6 s).
+        """
+        result = run_scenario(
+            build_scenario("II", seed=1, rows=1, cols=1),
+            controller="util-bp",
+            duration=60,
+            mini_slot=2.0,
+            record_queues=(("J00", "IN:N@J00"),),
+            queue_sample_interval=5.0,
+        )
+        times = result.queue_traces[("J00", "IN:N@J00")].series.times
+        assert len(times) == 12  # one sample per grid point in [0, 60)
+        for index, time in enumerate(times):
+            assert 0.0 <= time - 5.0 * index < 2.0
 
     def test_utilization_collected(self):
         result = run_scenario(

@@ -1,0 +1,196 @@
+"""Orchestration layer: specs, grids, the pool and the result cache."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import RunResult, run_scenario
+from repro.experiments.scenario import build_scenario
+from repro.orchestration import (
+    ExperimentPool,
+    RunSpec,
+    SweepGrid,
+    execute_spec,
+)
+
+#: A cheap cell reused across tests (90 s meso run).
+QUICK = dict(pattern="I", controller="util-bp", engine="meso", duration=90.0)
+
+
+class TestRunSpec:
+    def test_hashable_and_dict_key(self):
+        spec = RunSpec(**QUICK)
+        assert {spec: 1}[RunSpec(**QUICK)] == 1
+
+    def test_param_order_does_not_matter(self):
+        a = RunSpec(controller_params={"alpha": -1.0, "beta": -2.0})
+        b = RunSpec(controller_params={"beta": -2.0, "alpha": -1.0})
+        assert a == b
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_distinct_cells_hash_differently(self):
+        base = RunSpec(**QUICK)
+        assert base.spec_hash() != RunSpec(**{**QUICK, "seed": 2}).spec_hash()
+        assert (
+            base.spec_hash()
+            != RunSpec(**{**QUICK, "duration": 120.0}).spec_hash()
+        )
+
+    def test_roundtrip(self):
+        spec = RunSpec(
+            pattern="mixed",
+            controller="cap-bp",
+            controller_params={"period": 18.0},
+            engine="micro",
+            seed=3,
+            duration=250.0,
+            mini_slot=2.0,
+            scenario_params={"mixed_segment_duration": 600.0},
+            record_phases=("J02",),
+            record_queues=(("J02", "IN:E@J02"),),
+        )
+        rebuilt = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert rebuilt.spec_hash() == spec.spec_hash()
+
+    def test_to_dict_is_pure_json(self):
+        """Tuple-valued params must survive a json round trip unchanged.
+
+        The result cache validates stored entries by comparing the
+        loaded JSON against ``to_dict()``; a tuple that json turns
+        into a list would defeat every lookup for such specs.
+        """
+        spec = RunSpec(
+            controller_params={"weights": (1.0, 2.0)},
+            scenario_params={"shape": (3, 3)},
+        )
+        payload = spec.to_dict()
+        assert payload == json.loads(json.dumps(payload))
+        rebuilt = RunSpec.from_dict(payload)
+        assert rebuilt == spec
+        assert rebuilt.spec_hash() == spec.spec_hash()
+
+    def test_execute_matches_run_scenario(self):
+        direct = run_scenario(
+            build_scenario("I", seed=1),
+            controller="util-bp",
+            duration=90.0,
+            engine="meso",
+        )
+        assert execute_spec(RunSpec(**QUICK)).summary == direct.summary
+
+
+class TestRunResultSerialization:
+    def test_roundtrip_with_traces(self):
+        result = run_scenario(
+            build_scenario("I", seed=5),
+            controller="cap-bp",
+            controller_params={"period": 16.0},
+            duration=120.0,
+            engine="meso",
+            record_phases=("J00", "J11"),
+            record_queues=(("J00", "IN:N@J00"),),
+        )
+        rebuilt = RunResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert rebuilt == result
+        assert rebuilt.network_utilization().amber_share == pytest.approx(
+            result.network_utilization().amber_share
+        )
+
+
+class TestSweepGrid:
+    def test_cartesian_expansion(self):
+        grid = SweepGrid(
+            patterns=("I", "II"),
+            controllers=["util-bp", ("cap-bp", {"period": 18.0})],
+            seeds=(1, 2, 3),
+            durations=(120.0,),
+        )
+        specs = grid.specs()
+        assert len(grid) == len(specs) == 12
+        assert len(set(specs)) == 12  # all cells distinct
+        assert specs[0].controller == "util-bp"
+        assert ("period", 18.0) in specs[3].controller_params
+
+    def test_string_controller_entries_normalized(self):
+        grid = SweepGrid(controllers=["util-bp"])
+        assert grid.controllers == (("util-bp", ()),)
+
+
+class TestExperimentPool:
+    def _specs(self):
+        return SweepGrid(
+            patterns=("I", "II"),
+            controllers=["util-bp", ("cap-bp", {"period": 18.0})],
+            durations=(90.0,),
+        ).specs()
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ExperimentPool(workers=0)
+
+    def test_parallel_matches_serial(self):
+        specs = self._specs()
+        serial = ExperimentPool(workers=1).run(specs)
+        parallel = ExperimentPool(workers=2).run(specs)
+        assert serial == parallel  # full result objects, not just summaries
+
+    def test_duplicate_specs_executed_once(self):
+        spec = RunSpec(**QUICK)
+        pool = ExperimentPool()
+        results = pool.run([spec, spec])
+        assert pool.stats.executed == 1
+        assert results[0] == results[1]
+
+    def test_duplicate_cached_specs_counted_once(self, tmp_path):
+        spec = RunSpec(**QUICK)
+        ExperimentPool(cache_dir=tmp_path).run_one(spec)
+        warm = ExperimentPool(cache_dir=tmp_path)
+        results = warm.run([spec, spec])
+        assert warm.stats.cache_hits == 1  # one read, fanned out
+        assert warm.stats.executed == 0
+        assert results[0] == results[1]
+
+    def test_warm_cache_executes_nothing(self, tmp_path):
+        specs = self._specs()
+        cold = ExperimentPool(workers=1, cache_dir=tmp_path)
+        first = cold.run(specs)
+        assert cold.stats.executed == len(specs)
+
+        warm = ExperimentPool(workers=2, cache_dir=tmp_path)
+        second = warm.run(specs)
+        assert warm.stats.executed == 0
+        assert warm.stats.cache_hits == len(specs)
+        assert second == first
+
+    def test_partial_failure_keeps_completed_cells_cached(self, tmp_path):
+        """An interrupted parallel sweep must resume from finished cells."""
+        good = [RunSpec(**QUICK), RunSpec(**{**QUICK, "seed": 9})]
+        bad = RunSpec(**{**QUICK, "controller": "cap-bp"})  # missing period
+        pool = ExperimentPool(workers=2, cache_dir=tmp_path)
+        with pytest.raises(TypeError, match="period"):
+            pool.run([good[0], bad, good[1]])
+
+        resumed = ExperimentPool(workers=2, cache_dir=tmp_path)
+        resumed.run(good)
+        assert resumed.stats.executed == 0
+        assert resumed.stats.cache_hits == len(good)
+
+    def test_cache_ignores_corrupt_entries(self, tmp_path):
+        spec = RunSpec(**QUICK)
+        pool = ExperimentPool(cache_dir=tmp_path)
+        pool.run_one(spec)
+        path = pool._cache_path(spec)
+        path.write_text("{not json", encoding="utf-8")
+        again = ExperimentPool(cache_dir=tmp_path)
+        again.run_one(spec)
+        assert again.stats.executed == 1  # corrupt entry treated as a miss
+
+    def test_cache_distinguishes_specs(self, tmp_path):
+        pool = ExperimentPool(cache_dir=tmp_path)
+        a = pool.run_one(RunSpec(**QUICK))
+        b = pool.run_one(RunSpec(**{**QUICK, "seed": 9}))
+        assert pool.stats.executed == 2
+        assert a.summary != b.summary

@@ -113,3 +113,41 @@ class TestCli:
     def test_stability_flags_parse(self):
         args = build_parser().parse_args(["stability", "--duration", "300"])
         assert args.duration == 300.0
+
+    def test_sweep_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "--patterns", "I", "mixed",
+                "--controllers", "util-bp", "cap-bp:period=18",
+                "--workers", "4",
+            ]
+        )
+        assert args.patterns == ["I", "mixed"]
+        assert args.controllers == [
+            ("util-bp", {}),
+            ("cap-bp", {"period": 18.0}),
+        ]
+        assert args.workers == 4
+
+    def test_sweep_rejects_unknown_pattern(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--patterns", "V"])
+
+    def test_sweep_rejects_unknown_controller(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--controllers", "magic"])
+
+    def test_sweep_command_runs(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--patterns", "I",
+                "--controllers", "util-bp",
+                "--duration", "120",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sweep — 1 cells" in out
+        assert "executed 1" in out
