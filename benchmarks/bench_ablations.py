@@ -1,7 +1,5 @@
 """Ablation benches for the design choices DESIGN.md calls out."""
 
-import pytest
-
 from repro.experiments.ablations import (
     render_ablation,
     run_ablation,

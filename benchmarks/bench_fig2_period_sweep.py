@@ -6,8 +6,6 @@ optimum (short periods pay amber, long periods pay responsiveness) and
 UTIL-BP beats every swept period — the figure's message.
 """
 
-import pytest
-
 from repro.experiments.fig2 import render_fig2, run_fig2
 
 PERIODS = (10, 20, 30, 40, 60, 80)

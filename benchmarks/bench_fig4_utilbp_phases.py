@@ -9,8 +9,6 @@ Shape assertions matching the paper's reading of the figure:
   phases (c3, c4).
 """
 
-import pytest
-
 from repro.experiments.fig34 import run_fig34
 from repro.util.series import render_series
 

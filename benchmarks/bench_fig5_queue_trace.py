@@ -6,8 +6,6 @@ statistic of one Poisson sample path, so the comparison averages over
 three seeds and requires the seed-averaged mean queue to be lower.
 """
 
-import pytest
-
 from repro.experiments.fig5 import render_fig5, run_fig5
 
 DURATION = 800.0

@@ -7,10 +7,7 @@ controller, lanes dedicated vs mixed — HOL blocking must cost
 throughput and queuing time.
 """
 
-import pytest
-
 from repro.control.factory import make_network_controller
-from repro.experiments.patterns import TURNING
 from repro.experiments.scenario import build_scenario
 from repro.meso.simulator import MesoSimulator
 

@@ -10,8 +10,6 @@ Sweeps the demand scale under uniform traffic and checks:
   finite).
 """
 
-import pytest
-
 from repro.experiments.stability import (
     max_stable_scale,
     render_stability,

@@ -6,8 +6,6 @@ beat the best-period CAP-BP on every pattern (the paper reports 5-25 %,
 at least ~13 % on average).
 """
 
-import pytest
-
 from repro.experiments.table3 import render_table3, run_table3
 
 #: Reduced horizon: 20 min per pattern (mixed: 4 x 8 min).

@@ -1,0 +1,197 @@
+"""Fast benchmark subset with a committed-baseline regression gate.
+
+Measures closed-loop steps/second of a small, fixed workload set (meso
+and micro engines over catalog scenarios), writes the numbers to
+``BENCH_ci.json`` and fails (exit 1) if any workload's throughput
+dropped more than ``--threshold`` (default 25%) versus the committed
+baseline ``benchmarks/baseline_ci.json``.
+
+Raw steps/second is machine-dependent, so every run also times a fixed
+pure-Python/numpy *calibration* workload and gates on the
+calibration-normalized ratio ``steps_per_second / calibration_score``.
+That makes the committed baseline meaningful across laptops and CI
+runners of different speeds; the 25% threshold absorbs the residual
+noise.
+
+Usage
+-----
+    PYTHONPATH=src python scripts/bench_ci.py                # gate
+    PYTHONPATH=src python scripts/bench_ci.py --update-baseline
+    PYTHONPATH=src python scripts/bench_ci.py --output BENCH_ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from repro.control.factory import make_network_controller
+from repro.experiments.runner import build_engine
+from repro.scenarios import build_named_scenario
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline_ci.json"
+SCHEMA_VERSION = 1
+
+#: The gated workloads: (key, engine, scenario name, measured steps).
+WORKLOADS = (
+    ("meso/steady-3x3", "meso", "steady-3x3", 400),
+    ("meso/surge-4x4", "meso", "surge-4x4", 250),
+    ("meso/incident-3x3", "meso", "incident-3x3", 400),
+    ("micro/steady-3x3", "micro", "steady-3x3", 120),
+)
+
+#: Mini-slots simulated before timing starts (populate the queues).
+WARMUP_STEPS = 60
+
+
+def calibration_score(repeats: int = 3) -> float:
+    """Machine-speed proxy: fixed Python+numpy work per second.
+
+    The workload imitates the simulators' hot loops — dict traffic,
+    list shuffling and small vectorized numpy draws — so its speed
+    tracks theirs across CPUs reasonably well.
+    """
+    rng = np.random.default_rng(0)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        acc = 0
+        table: Dict[int, int] = {}
+        for i in range(200_000):
+            table[i & 1023] = i
+            acc += table.get((i * 7) & 1023, 0)
+        for _ in range(200):
+            acc += int(rng.poisson(3.0, size=64).sum())
+        best = min(best, time.perf_counter() - start)
+    return 1.0 / best
+
+
+def measure_steps_per_second(
+    engine: str, scenario_name: str, steps: int, repeats: int
+) -> float:
+    """Best-of-``repeats`` closed-loop step rate for one workload."""
+    best = 0.0
+    for attempt in range(repeats):
+        scenario = build_named_scenario(scenario_name, seed=1 + attempt)
+        sim = build_engine(scenario, engine)
+        controller = make_network_controller("util-bp", scenario.network)
+        for _ in range(WARMUP_STEPS):
+            sim.step(1.0, controller.decide(sim.observations()))
+        start = time.perf_counter()
+        for _ in range(steps):
+            sim.step(1.0, controller.decide(sim.observations()))
+        elapsed = time.perf_counter() - start
+        best = max(best, steps / elapsed)
+    return best
+
+
+def run_benchmarks(repeats: int) -> Dict:
+    calibration = calibration_score()
+    results = {}
+    for key, engine, scenario_name, steps in WORKLOADS:
+        rate = measure_steps_per_second(engine, scenario_name, steps, repeats)
+        results[key] = {
+            "steps_per_second": round(rate, 2),
+            "normalized": round(rate / calibration, 5),
+        }
+        print(
+            f"  {key:<22} {rate:>10,.0f} steps/s   "
+            f"(normalized {rate / calibration:.3f})"
+        )
+    return {
+        "version": SCHEMA_VERSION,
+        "calibration_score": round(calibration, 2),
+        "results": results,
+    }
+
+
+def compare(current: Dict, baseline: Dict, threshold: float) -> int:
+    """Gate the current run against the baseline; return the exit code."""
+    if baseline.get("version") != SCHEMA_VERSION:
+        print(
+            f"baseline schema version {baseline.get('version')} != "
+            f"{SCHEMA_VERSION}; refresh it with --update-baseline",
+            file=sys.stderr,
+        )
+        return 2
+    failures = []
+    for key, entry in current["results"].items():
+        base = baseline["results"].get(key)
+        if base is None:
+            print(f"  {key}: no baseline entry (new workload, not gated)")
+            continue
+        ratio = entry["normalized"] / base["normalized"]
+        status = "ok" if ratio >= 1.0 - threshold else "REGRESSION"
+        print(
+            f"  {key:<22} normalized {entry['normalized']:.3f} vs "
+            f"baseline {base['normalized']:.3f}  ({ratio:.0%})  {status}"
+        )
+        if status != "ok":
+            failures.append(key)
+    if failures:
+        print(
+            f"\nbenchmark regression gate FAILED: {failures} dropped more "
+            f"than {threshold:.0%} below baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nbenchmark regression gate OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="committed baseline JSON to gate against",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=Path("BENCH_ci.json"),
+        help="where to write this run's numbers",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="maximum tolerated normalized steps/s drop (default 0.25)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per workload (best is kept)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write this run's numbers to the baseline instead of gating",
+    )
+    args = parser.parse_args()
+
+    print("running CI benchmark subset:")
+    current = run_benchmarks(args.repeats)
+    args.output.write_text(json.dumps(current, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    if args.update_baseline:
+        args.baseline.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"updated baseline {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(
+            f"no baseline at {args.baseline}; create one with "
+            f"--update-baseline",
+            file=sys.stderr,
+        )
+        return 2
+
+    print(f"\ngating against {args.baseline} (threshold {args.threshold:.0%}):")
+    baseline = json.loads(args.baseline.read_text())
+    return compare(current, baseline, args.threshold)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

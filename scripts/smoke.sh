@@ -1,7 +1,14 @@
 #!/usr/bin/env bash
-# Pre-merge smoke gate: tier-1 tests plus a 2-worker mini-sweep.
+# Pre-merge smoke gate: lint, tier-1 tests, the scenario catalog and a
+# 2-worker mini-sweep.
 #
 # Usage: bash scripts/smoke.sh
+#
+# Designed to fail fast in non-interactive CI shells: no reliance on a
+# pre-activated venv (set PYTHON to pick an interpreter explicitly),
+# every stage runs under `set -euo pipefail`, and optional tooling
+# (ruff) is detected rather than assumed.  Set SMOKE_SKIP_TESTS=1 when
+# the tier-1 suite already ran in a separate CI step.
 #
 # The mini-sweep exercises the full orchestration path (spec expansion,
 # process-parallel execution, result cache) end to end: it runs the
@@ -10,22 +17,48 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+if [[ -z "${PYTHON:-}" ]]; then
+    if command -v python3 >/dev/null 2>&1; then
+        PYTHON=python3
+    elif command -v python >/dev/null 2>&1; then
+        PYTHON=python
+    else
+        echo "smoke FAILED: no python interpreter on PATH" >&2
+        exit 1
+    fi
+fi
+
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1 tests =="
-python -m pytest -x -q
+echo "== lint (ruff) =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check .
+else
+    echo "ruff not installed; skipping lint (CI installs it via .[dev])"
+fi
+
+if [[ "${SMOKE_SKIP_TESTS:-0}" != "1" ]]; then
+    echo
+    echo "== tier-1 tests =="
+    "$PYTHON" -m pytest -x -q
+fi
+
+echo
+echo "== scenario catalog =="
+"$PYTHON" -m repro scenarios list
+"$PYTHON" -m repro sweep --scenario surge-4x4 --duration 120
 
 echo
 echo "== 2-worker mini-sweep (cold, then warm from cache) =="
 CACHE_DIR="$(mktemp -d)"
 trap 'rm -rf "$CACHE_DIR"' EXIT
 
-python -m repro sweep \
+"$PYTHON" -m repro sweep \
     --patterns I II \
     --controllers util-bp cap-bp:period=18 \
     --duration 300 --workers 2 --cache-dir "$CACHE_DIR"
 
-WARM=$(python -m repro sweep \
+WARM=$("$PYTHON" -m repro sweep \
     --patterns I II \
     --controllers util-bp cap-bp:period=18 \
     --duration 300 --workers 2 --cache-dir "$CACHE_DIR")

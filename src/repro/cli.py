@@ -3,7 +3,8 @@
 Commands
 --------
 run        one scenario under one controller, print the summary
-sweep      run a (pattern x controller x seed) grid on the worker pool
+sweep      run a (workload x controller x seed) grid on the worker pool
+scenarios  list/inspect the scenario catalog (repro.scenarios)
 table3     reproduce Table III
 fig2       reproduce Fig. 2 (period sweep)
 fig34      reproduce Figs. 3-4 (phase traces)
@@ -19,6 +20,7 @@ earlier run).
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Any, Dict, List, Optional
 
 from repro.control.factory import CONTROLLER_NAMES
@@ -52,6 +54,18 @@ def _parse_pattern_token(token: str) -> str:
     if token not in PATTERN_NAMES:
         raise argparse.ArgumentTypeError(
             f"unknown pattern {token!r}; known: {list(PATTERN_NAMES)}"
+        )
+    return token
+
+
+def _parse_scenario_token(token: str) -> str:
+    """Validate a --scenario entry against the catalog (incl. dynamic)."""
+    from repro.scenarios import is_scenario_name, scenario_names
+
+    if not is_scenario_name(token):
+        raise argparse.ArgumentTypeError(
+            f"unknown scenario {token!r}; known: {list(scenario_names())} "
+            f"(or <family>-<R>x<C>)"
         )
     return token
 
@@ -104,8 +118,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a (pattern x controller x seed) grid on the worker pool",
     )
     sweep.add_argument(
-        "--patterns", nargs="+", type=_parse_pattern_token, default=["I"],
+        "--patterns", nargs="+", type=_parse_pattern_token, default=None,
         help="traffic patterns (I II III IV mixed)",
+    )
+    sweep.add_argument(
+        "--scenario", "--scenarios", dest="scenarios", nargs="+",
+        type=_parse_scenario_token, default=None, metavar="NAME",
+        help=(
+            "catalog scenarios (see 'repro scenarios list'), e.g. "
+            "surge-4x4 tidal-6x6; combined with --patterns"
+        ),
+    )
+    sweep.add_argument(
+        "--load", type=float, default=None,
+        help="demand load level forwarded to catalog scenarios",
     )
     sweep.add_argument(
         "--controllers", nargs="+", type=_parse_controller_token,
@@ -116,6 +142,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--engine", choices=ENGINE_NAMES, default="meso")
     sweep.add_argument("--duration", type=float, default=1800.0)
     _add_pool_options(sweep)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="inspect the scenario catalog"
+    )
+    scenarios_sub = scenarios.add_subparsers(
+        dest="scenarios_command", required=True
+    )
+    scenarios_sub.add_parser("list", help="list all catalog scenarios")
+    show = scenarios_sub.add_parser(
+        "show", help="build one scenario and print its shape"
+    )
+    show.add_argument("name", type=_parse_scenario_token)
+    show.add_argument("--seed", type=int, default=0)
 
     table3 = sub.add_parser("table3", help="reproduce Table III")
     table3.add_argument("--engine", choices=ENGINE_NAMES, default="meso")
@@ -157,8 +196,21 @@ def _run_sweep(args: argparse.Namespace) -> int:
     from repro.orchestration import SweepGrid
     from repro.util.tables import render_table
 
+    scenario_names = tuple(args.scenarios or ())
+    if args.load is not None and not scenario_names:
+        print(
+            "repro sweep: --load applies to catalog scenarios; pass "
+            "--scenario NAME (paper patterns take "
+            "--patterns with scenario_params via the API)",
+            file=sys.stderr,
+        )
+        return 2
+    entry_params = {"load": args.load} if args.load is not None else {}
     grid = SweepGrid(
-        patterns=tuple(args.patterns),
+        patterns=None if args.patterns is None else tuple(args.patterns),
+        scenarios=tuple(
+            (name, entry_params) for name in scenario_names
+        ),
         controllers=tuple(args.controllers),
         seeds=tuple(args.seeds),
         engines=(args.engine,),
@@ -204,6 +256,48 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import build_named_scenario, catalog_entries
+    from repro.util.tables import render_table
+
+    if args.scenarios_command == "list":
+        rows = [
+            (entry.name, entry.grid, entry.family.name, entry.description)
+            for entry in catalog_entries()
+        ]
+        print(
+            render_table(
+                ("name", "grid", "family", "description"),
+                rows,
+                title=(
+                    f"Scenario catalog — {len(rows)} entries "
+                    f"(any <family>-<R>x<C> also resolves)"
+                ),
+            )
+        )
+        return 0
+
+    scenario = build_named_scenario(args.name, seed=args.seed)
+    network = scenario.network
+    horizon = scenario.default_duration
+    expected = sum(
+        schedule.expected_count(0.0, horizon)
+        for schedule in scenario.demand.values()
+    )
+    print(f"scenario {scenario.name} (seed {scenario.seed})")
+    print(
+        f"  network: {len(network.intersections)} intersections, "
+        f"{len(network.roads)} roads, {len(network.entry_roads())} entries"
+    )
+    print(f"  default horizon: {horizon:.0f} s")
+    print(f"  expected arrivals over horizon: {expected:.0f} vehicles")
+    capacities = sorted(
+        {road.capacity for road in network.roads.values()}
+    )
+    print(f"  road capacities: {capacities}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -230,6 +324,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "sweep":
         return _run_sweep(args)
+
+    if args.command == "scenarios":
+        return _run_scenarios(args)
 
     if args.command == "table3":
         from repro.experiments.table3 import render_table3, run_table3

@@ -14,7 +14,7 @@ and per-phase green share.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.metrics.traces import PhaseTrace
 from repro.orchestration import ExperimentPool, RunSpec

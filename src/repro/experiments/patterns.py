@@ -1,30 +1,21 @@
-"""The paper's workload definitions: Tables I and II.
+"""Backwards-compatibility shim: the pattern tables moved.
 
-* Table I — turning probabilities of vehicles entering the network,
-  per entry side.
-* Table II — average inter-arrival time of vehicles entering the
-  network, per entry side and traffic pattern:
-
-  =========  ===============  ====  ====  ====  ====
-  pattern    description      N     E     S     W
-  =========  ===============  ====  ====  ====  ====
-  I          adjacent heavy   3 s   5 s   7 s   9 s
-  II         uniform          6 s   6 s   6 s   6 s
-  III        opposite heavy   3 s   7 s   5 s   9 s
-  IV         single heavy     3 s   9 s   9 s   9 s
-  =========  ===============  ====  ====  ====  ====
-
-  The *mixed* pattern concatenates patterns I-IV for one hour each
-  (4 h total).
+Tables I and II (turning probabilities and per-side arrival rates)
+now live in :mod:`repro.scenarios.patterns`, next to the rest of the
+scenario library.  Import from there in new code.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
-
-from repro.model.arrivals import ArrivalSchedule
-from repro.model.geometry import Direction
-from repro.model.routing import TurningProbabilities
+from repro.scenarios.patterns import (  # noqa: F401  (re-exports)
+    MIXED_SEGMENT_DURATION,
+    PATTERN_NAMES,
+    PATTERNS,
+    TURNING,
+    arrival_schedule,
+    interarrival_times,
+    pattern_description,
+)
 
 __all__ = [
     "TURNING",
@@ -35,89 +26,3 @@ __all__ = [
     "arrival_schedule",
     "pattern_description",
 ]
-
-#: Table I — right/left turning probabilities per entry side.
-TURNING = TurningProbabilities(
-    right={
-        Direction.N: 0.4,
-        Direction.E: 0.3,
-        Direction.S: 0.4,
-        Direction.W: 0.3,
-    },
-    left={
-        Direction.N: 0.2,
-        Direction.E: 0.3,
-        Direction.S: 0.3,
-        Direction.W: 0.4,
-    },
-)
-
-#: Table II — mean inter-arrival time (seconds) per entry side.
-_PATTERN_TABLE: Dict[str, Dict[Direction, float]] = {
-    "I": {Direction.N: 3.0, Direction.E: 5.0, Direction.S: 7.0, Direction.W: 9.0},
-    "II": {Direction.N: 6.0, Direction.E: 6.0, Direction.S: 6.0, Direction.W: 6.0},
-    "III": {Direction.N: 3.0, Direction.E: 7.0, Direction.S: 5.0, Direction.W: 9.0},
-    "IV": {Direction.N: 3.0, Direction.E: 9.0, Direction.S: 9.0, Direction.W: 9.0},
-}
-
-_DESCRIPTIONS: Dict[str, str] = {
-    "I": "adjacent heavy",
-    "II": "uniform",
-    "III": "opposite heavy",
-    "IV": "single heavy",
-    "mixed": "patterns I-IV, one segment each",
-}
-
-#: Names accepted by :func:`arrival_schedule` and the scenario builder.
-PATTERN_NAMES: Tuple[str, ...] = ("I", "II", "III", "IV", "mixed")
-
-#: Duration of each pattern segment within the mixed pattern (paper: 1 h).
-MIXED_SEGMENT_DURATION = 3600.0
-
-PATTERNS = _PATTERN_TABLE  # public alias matching the paper's Table II
-
-
-def pattern_description(pattern: str) -> str:
-    """The paper's one-word description of a pattern."""
-    try:
-        return _DESCRIPTIONS[pattern]
-    except KeyError:
-        raise ValueError(
-            f"unknown pattern {pattern!r}; expected one of {PATTERN_NAMES}"
-        )
-
-
-def interarrival_times(pattern: str) -> Dict[Direction, float]:
-    """Table II row for a (non-mixed) pattern."""
-    try:
-        return dict(_PATTERN_TABLE[pattern])
-    except KeyError:
-        raise ValueError(
-            f"unknown pattern {pattern!r}; expected one of "
-            f"{tuple(_PATTERN_TABLE)}"
-        )
-
-
-def arrival_schedule(
-    pattern: str,
-    side: Direction,
-    segment_duration: float = MIXED_SEGMENT_DURATION,
-) -> ArrivalSchedule:
-    """Arrival schedule for one entry side under a pattern.
-
-    For patterns I-IV this is a constant rate (1 / inter-arrival
-    time).  For ``"mixed"`` it is the four patterns' rates back to
-    back, each lasting ``segment_duration`` seconds; the final
-    segment's rate persists beyond the nominal 4-segment horizon.
-    """
-    if pattern == "mixed":
-        if segment_duration <= 0:
-            raise ValueError(
-                f"segment_duration must be > 0, got {segment_duration}"
-            )
-        pieces: List[Tuple[float, float]] = []
-        for index, name in enumerate(("I", "II", "III", "IV")):
-            rate = 1.0 / _PATTERN_TABLE[name][side]
-            pieces.append((index * segment_duration, rate))
-        return ArrivalSchedule.piecewise(pieces)
-    return ArrivalSchedule.from_interarrival(interarrival_times(pattern)[side])

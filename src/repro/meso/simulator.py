@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Deque, Dict, List, Mapping, Optional, Tuple
+from typing import Deque, Dict, Mapping, Optional, Tuple
 
 from repro.core.engine import register_engine
 from repro.meso.road_state import RoadState

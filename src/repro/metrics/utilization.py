@@ -14,7 +14,7 @@ ablation benchmarks quantitative we define, per intersection:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 __all__ = ["UtilizationTracker"]

@@ -14,7 +14,7 @@ the paper's model of the transition phase.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

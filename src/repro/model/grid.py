@@ -16,7 +16,7 @@ Naming scheme
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.model.geometry import Direction
 from repro.model.intersection import Intersection, build_standard_intersection
@@ -69,6 +69,8 @@ def build_grid_network(
     speed_limit: float = 13.89,
     service_rate: float = 1.0,
     boundary_capacity: Optional[int] = None,
+    capacity_overrides: Optional[Mapping[str, int]] = None,
+    node_service_rates: Optional[Mapping[str, float]] = None,
 ) -> Network:
     """Build an ``rows x cols`` grid of standard intersections.
 
@@ -86,11 +88,19 @@ def build_grid_network(
         Capacity of boundary entry/exit roads.  Defaults to
         ``capacity``.  Exit roads are drained by the outside world, so
         in practice only entry roads are capacity-limited.
+    capacity_overrides:
+        Per-road-id capacity overrides (e.g. an incident shrinking one
+        road to half its lanes).  Keys must name roads the grid builds.
+    node_service_rates:
+        Per-intersection default ``µ`` overrides (e.g. a blocked
+        junction serving slower), keyed by node id.
     """
     if rows < 1 or cols < 1:
         raise ValueError(f"grid must be at least 1x1, got {rows}x{cols}")
     if boundary_capacity is None:
         boundary_capacity = capacity
+    capacity_overrides = dict(capacity_overrides or {})
+    node_service_rates = dict(node_service_rates or {})
 
     roads: Dict[str, Road] = {}
     road_origin: Dict[str, str] = {}
@@ -99,6 +109,7 @@ def build_grid_network(
     def add_road(road_id: str, origin: str, destination: str, cap: int) -> Road:
         if road_id in roads:
             return roads[road_id]
+        cap = capacity_overrides.pop(road_id, cap)
         road = Road(
             road_id=road_id,
             capacity=cap,
@@ -155,8 +166,19 @@ def build_grid_network(
                 node_id,
                 in_roads=in_roads,
                 out_roads=out_roads,
-                service_rate=service_rate,
+                service_rate=node_service_rates.pop(node_id, service_rate),
             )
+
+    if capacity_overrides:
+        raise ValueError(
+            f"capacity_overrides name roads the grid does not build: "
+            f"{sorted(capacity_overrides)}"
+        )
+    if node_service_rates:
+        raise ValueError(
+            f"node_service_rates name unknown intersections: "
+            f"{sorted(node_service_rates)}"
+        )
 
     return Network(
         intersections=intersections,

@@ -13,8 +13,8 @@ the system).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.model.intersection import Intersection
 from repro.model.movements import Movement

@@ -11,8 +11,8 @@ cyber/physical boundary of the paper's CPS framing explicit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Tuple
+from dataclasses import dataclass
+from typing import Mapping, Tuple
 
 __all__ = ["QueueObservation"]
 

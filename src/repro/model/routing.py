@@ -19,7 +19,7 @@ approaches carry the full set of three turn movements (our grids do):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping
 
 import numpy as np
 

@@ -19,12 +19,18 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 from itertools import product
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.experiments.runner import RunResult, run_scenario
-from repro.experiments.scenario import Scenario, build_scenario
+from repro.scenarios import (
+    Scenario,
+    build_named_scenario,
+    build_scenario,
+    is_scenario_name,
+)
+from repro.scenarios.patterns import PATTERN_NAMES
 
 __all__ = ["RunSpec", "SweepGrid", "execute_spec", "SPEC_SCHEMA_VERSION"]
 
@@ -80,6 +86,13 @@ class RunSpec:
     record_queues: Tuple[Tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
+        if self.pattern not in PATTERN_NAMES and not is_scenario_name(
+            self.pattern
+        ):
+            raise ValueError(
+                f"unknown pattern/scenario {self.pattern!r}; expected one of "
+                f"{PATTERN_NAMES} or a scenario-catalog name"
+            )
         object.__setattr__(
             self, "controller_params", _freeze_params(self.controller_params)
         )
@@ -174,8 +187,18 @@ class RunSpec:
     # -- execution ----------------------------------------------------------
 
     def make_scenario(self) -> Scenario:
-        """Build the scenario this spec describes."""
-        return build_scenario(
+        """Build the scenario this spec describes.
+
+        ``pattern`` is either one of the paper's pattern names
+        (``I``-``IV``, ``mixed``) or any scenario-catalog name
+        (``surge-4x4``, ``tidal-6x6``, ...); ``scenario_params`` are
+        forwarded to whichever builder applies.
+        """
+        if self.pattern in PATTERN_NAMES:
+            return build_scenario(
+                self.pattern, seed=self.seed, **self.scenario_kwargs()
+            )
+        return build_named_scenario(
             self.pattern, seed=self.seed, **self.scenario_kwargs()
         )
 
@@ -203,26 +226,51 @@ def execute_spec(spec: RunSpec) -> RunResult:
 ControllerEntry = Union[str, Tuple[str, Optional[Mapping[str, Any]]]]
 
 
+#: A scenarios-axis entry: a catalog name, or ``(name, params)`` where
+#: the params override the entry's defaults for that cell only.
+ScenarioAxisEntry = Union[str, Tuple[str, Optional[Mapping[str, Any]]]]
+
+
 @dataclass(frozen=True)
 class SweepGrid:
     """Cartesian product of sweep axes, expandable to :class:`RunSpec` s.
 
-    Axes: traffic ``patterns``, ``controllers`` (name or
+    Axes: traffic ``patterns`` (the paper's ``I``-``mixed``),
+    ``scenarios`` (catalog names, optionally with per-entry parameters
+    — ``("surge-4x4", {"load": 1.2})``), ``controllers`` (name or
     ``(name, params)`` entries), ``seeds``, ``engines`` and
-    ``durations``.  Scalar run options (``mini_slot``,
-    ``scenario_params``, recording) are shared by every cell.
+    ``durations``.  The patterns and scenarios axes are concatenated
+    into one workload axis; ``patterns=None`` (the default) means
+    pattern ``I`` when no scenarios are given and nothing otherwise,
+    so a scenarios-only grid does not sweep an unrequested pattern.
+    Scalar run options (``mini_slot``, ``scenario_params``, recording)
+    are shared by every cell; per-entry scenario parameters win over
+    the shared ones.
     """
 
-    patterns: Tuple[str, ...] = ("I",)
+    patterns: Optional[Tuple[str, ...]] = None
     controllers: Tuple[Tuple[str, FrozenParams], ...] = (("util-bp", ()),)
     seeds: Tuple[int, ...] = (1,)
     engines: Tuple[str, ...] = ("meso",)
     durations: Tuple[Optional[float], ...] = (None,)
     mini_slot: float = 1.0
     scenario_params: FrozenParams = ()
+    scenarios: Tuple[Tuple[str, FrozenParams], ...] = ()
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "patterns", tuple(self.patterns))
+        scenarios = []
+        for entry in self.scenarios:
+            if isinstance(entry, str):
+                scenarios.append((entry, ()))
+            else:
+                name, params = entry
+                scenarios.append((name, _freeze_params(params)))
+        object.__setattr__(self, "scenarios", tuple(scenarios))
+        if self.patterns is None:
+            patterns: Tuple[str, ...] = () if scenarios else ("I",)
+        else:
+            patterns = tuple(self.patterns)
+        object.__setattr__(self, "patterns", patterns)
         controllers = []
         for entry in self.controllers:
             if isinstance(entry, str):
@@ -241,9 +289,16 @@ class SweepGrid:
             self, "scenario_params", _freeze_params(self.scenario_params)
         )
 
+    def workloads(self) -> Tuple[Tuple[str, FrozenParams], ...]:
+        """The combined workload axis: patterns then catalog scenarios."""
+        return tuple(
+            [(pattern, ()) for pattern in self.patterns]
+            + list(self.scenarios)
+        )
+
     def __len__(self) -> int:
         return (
-            len(self.patterns)
+            len(self.workloads())
             * len(self.controllers)
             * len(self.seeds)
             * len(self.engines)
@@ -253,23 +308,29 @@ class SweepGrid:
     def specs(self) -> Tuple[RunSpec, ...]:
         """Expand the grid into one spec per cell (deterministic order)."""
         out = []
-        for pattern, (controller, params), seed, engine, duration in product(
-            self.patterns,
+        for workload, (controller, params), seed, engine, duration in product(
+            self.workloads(),
             self.controllers,
             self.seeds,
             self.engines,
             self.durations,
         ):
+            name, extra_params = workload
+            scenario_params: FrozenParams = self.scenario_params
+            if extra_params:
+                merged = dict(self.scenario_params)
+                merged.update(extra_params)
+                scenario_params = _freeze_params(merged)
             out.append(
                 RunSpec(
-                    pattern=pattern,
+                    pattern=name,
                     controller=controller,
                     controller_params=params,
                     engine=engine,
                     seed=seed,
                     duration=duration,
                     mini_slot=self.mini_slot,
-                    scenario_params=self.scenario_params,
+                    scenario_params=scenario_params,
                 )
             )
         return tuple(out)

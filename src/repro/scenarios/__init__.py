@@ -1,0 +1,56 @@
+"""The scenario library: named, parameterized simulation workloads.
+
+* :mod:`repro.scenarios.core` — the :class:`Scenario` value object and
+  the paper's grid builder (``build_scenario``).
+* :mod:`repro.scenarios.profiles` — per-side demand shapes (steady,
+  tidal, surge) and turning-probability variants.
+* :mod:`repro.scenarios.catalog` — the name registry, with dynamic
+  ``<family>-<R>x<C>`` resolution for arbitrary grid sizes.
+* :mod:`repro.scenarios.library` — the shipped families and catalog
+  entries; imported here so the registry is populated by
+  ``import repro.scenarios``.
+
+``repro scenarios list`` on the command line prints the catalog;
+:class:`~repro.orchestration.spec.RunSpec` accepts any catalog name in
+its ``pattern`` field, so sweeps enumerate scenario names exactly like
+the paper's patterns.
+"""
+
+from repro.scenarios.catalog import (
+    ScenarioEntry,
+    ScenarioFamily,
+    build_named_scenario,
+    catalog_entries,
+    family_names,
+    is_scenario_name,
+    register_family,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.core import (
+    DEFAULT_DURATIONS,
+    Scenario,
+    build_scenario,
+    demand_from_profile,
+    entry_side,
+    scale_schedule,
+)
+from repro.scenarios import library as _library  # noqa: F401  (registers catalog)
+
+__all__ = [
+    "Scenario",
+    "build_scenario",
+    "build_named_scenario",
+    "demand_from_profile",
+    "entry_side",
+    "scale_schedule",
+    "DEFAULT_DURATIONS",
+    "ScenarioEntry",
+    "ScenarioFamily",
+    "register_family",
+    "register_scenario",
+    "family_names",
+    "scenario_names",
+    "catalog_entries",
+    "is_scenario_name",
+]

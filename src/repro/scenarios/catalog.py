@@ -1,0 +1,163 @@
+"""The scenario registry: named, parameterized workload builders.
+
+Two levels of registration:
+
+* A **family** is a parameterized builder — ``builder(name=..., rows=...,
+  cols=..., seed=..., load=..., **family_params) -> Scenario`` — one per
+  demand-profile shape (steady, tidal, surge, incident, ...).
+* A **catalog entry** binds a family to a concrete public name and
+  default parameters (``surge-4x4`` = the surge family on a 4x4 grid).
+
+Names that are not registered but match ``<family>-<R>x<C>`` resolve
+dynamically: ``steady-2x5`` builds the steady family on a 2x5 grid even
+though only 3x3/4x4 variants ship in the catalog.  That is what makes
+the grid axis genuinely *arbitrary* from the CLI and from
+:class:`~repro.orchestration.spec.RunSpec` without pre-registering every
+size.
+
+Everything here is import-time static (no I/O, no randomness): a
+worker process that imports :mod:`repro.scenarios` sees the identical
+catalog, which the orchestration layer's spec hashing relies on.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from repro.scenarios.core import Scenario
+
+__all__ = [
+    "ScenarioFamily",
+    "ScenarioEntry",
+    "register_family",
+    "register_scenario",
+    "family_names",
+    "scenario_names",
+    "catalog_entries",
+    "is_scenario_name",
+    "build_named_scenario",
+]
+
+#: Builder signature of a family: keyword-only scenario construction.
+FamilyBuilder = Callable[..., Scenario]
+
+#: ``<family>-<rows>x<cols>`` — the dynamic-name shape (1-based dims,
+#: so zero-dimension grids fail validation here, not mid-sweep).
+_GRID_NAME = re.compile(
+    r"(?P<family>[a-z][a-z0-9-]*?)-(?P<rows>[1-9]\d*)x(?P<cols>[1-9]\d*)"
+)
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A demand-profile shape, parameterized by grid size and load."""
+
+    name: str
+    description: str
+    builder: FamilyBuilder
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One public catalog name: a family bound to default parameters."""
+
+    name: str
+    family: ScenarioFamily
+    description: str
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def grid(self) -> str:
+        """``RxC`` shorthand of the entry's default grid."""
+        rows = self.defaults.get("rows", 3)
+        cols = self.defaults.get("cols", 3)
+        return f"{rows}x{cols}"
+
+    def build(self, seed: int = 0, **overrides: Any) -> Scenario:
+        """Build the scenario (overrides win over entry defaults)."""
+        params: Dict[str, Any] = dict(self.defaults)
+        params.update(overrides)
+        return self.family.builder(name=self.name, seed=seed, **params)
+
+
+_FAMILIES: Dict[str, ScenarioFamily] = {}
+_REGISTRY: Dict[str, ScenarioEntry] = {}
+
+
+def register_family(
+    name: str, description: str, builder: FamilyBuilder
+) -> ScenarioFamily:
+    """Register a scenario family (idempotent per name)."""
+    family = ScenarioFamily(name=name, description=description, builder=builder)
+    _FAMILIES[name] = family
+    return family
+
+
+def register_scenario(
+    name: str,
+    family: ScenarioFamily,
+    description: str,
+    **defaults: Any,
+) -> ScenarioEntry:
+    """Bind a family + defaults to a public catalog name."""
+    entry = ScenarioEntry(
+        name=name, family=family, description=description, defaults=defaults
+    )
+    _REGISTRY[name] = entry
+    return entry
+
+
+def family_names() -> Tuple[str, ...]:
+    """All registered family names, sorted."""
+    return tuple(sorted(_FAMILIES))
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """All registered catalog names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def catalog_entries() -> Tuple[ScenarioEntry, ...]:
+    """All catalog entries, sorted by name."""
+    return tuple(_REGISTRY[name] for name in scenario_names())
+
+
+def _dynamic_entry(name: str) -> ScenarioEntry:
+    """Resolve an unregistered ``<family>-<R>x<C>`` name on the fly."""
+    match = _GRID_NAME.fullmatch(name)
+    if match is None or match.group("family") not in _FAMILIES:
+        raise ValueError(
+            f"unknown scenario {name!r}; registered: {list(scenario_names())} "
+            f"(or <family>-<R>x<C> with family in {list(family_names())})"
+        )
+    family = _FAMILIES[match.group("family")]
+    rows, cols = int(match.group("rows")), int(match.group("cols"))
+    return ScenarioEntry(
+        name=name,
+        family=family,
+        description=f"{family.description} (dynamic {rows}x{cols} grid)",
+        defaults={"rows": rows, "cols": cols},
+    )
+
+
+def is_scenario_name(name: str) -> bool:
+    """True if ``name`` resolves to a catalog entry (static or dynamic)."""
+    if name in _REGISTRY:
+        return True
+    match = _GRID_NAME.fullmatch(name)
+    return match is not None and match.group("family") in _FAMILIES
+
+
+def build_named_scenario(name: str, seed: int = 0, **overrides: Any) -> Scenario:
+    """Build a catalog scenario by name.
+
+    ``overrides`` are forwarded to the family builder on top of the
+    entry's defaults (e.g. ``load=1.4`` or ``rows=6``), so sweeps can
+    vary the load/grid axes of any named workload.
+    """
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        entry = _dynamic_entry(name)
+    return entry.build(seed=seed, **overrides)

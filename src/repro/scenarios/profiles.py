@@ -1,0 +1,132 @@
+"""Demand profiles: per-side arrival-rate shapes over time.
+
+A *profile* maps each compass entry side to an
+:class:`~repro.model.arrivals.ArrivalSchedule`; it is independent of
+the grid size, so the same profile drives a 2x2 and a 6x6 network
+(:func:`repro.scenarios.core.demand_from_profile` fans it out over
+whatever entry roads the grid has).  All rates scale linearly with
+``load`` (``1.0`` ≈ the paper's uniform Pattern-II intensity per side).
+
+Profiles
+--------
+steady      constant uniform rate on all four sides
+tidal       a peak direction carries heavy flow, then the peak
+            reverses mid-horizon (morning/evening commute)
+surge       uniform base load with a step-change surge window on the
+            peak sides (flash crowd / event egress)
+incident    the demand half of an incident scenario: uniform load that
+            does *not* adapt while the network loses capacity
+asymmetric  constant rates but skewed turning probabilities
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.model.arrivals import ArrivalSchedule
+from repro.model.geometry import Direction
+from repro.model.routing import TurningProbabilities
+from repro.util.validation import check_positive
+
+__all__ = [
+    "BASE_INTERARRIVAL",
+    "steady_profile",
+    "tidal_profile",
+    "surge_profile",
+    "asymmetric_turning",
+]
+
+#: Mean inter-arrival time (s) per side at ``load = 1.0`` — the
+#: paper's uniform Pattern II intensity.
+BASE_INTERARRIVAL = 6.0
+
+#: The base per-side rate (veh/s) at ``load = 1.0``.
+BASE_RATE = 1.0 / BASE_INTERARRIVAL
+
+SideSchedules = Dict[Direction, ArrivalSchedule]
+
+
+def steady_profile(load: float = 1.0) -> SideSchedules:
+    """Constant, side-uniform Poisson demand."""
+    check_positive("load", load)
+    schedule = ArrivalSchedule.constant(load * BASE_RATE)
+    return {side: schedule for side in Direction}
+
+
+def tidal_profile(
+    load: float = 1.0,
+    reversal_time: float = 1800.0,
+    peak_factor: float = 2.0,
+    offpeak_factor: float = 0.5,
+) -> SideSchedules:
+    """Peak-direction demand that reverses mid-horizon.
+
+    Until ``reversal_time`` the north and east sides carry
+    ``peak_factor`` times the base rate while south and west carry
+    ``offpeak_factor`` times it; afterwards the peak flips to
+    south/west — the classic morning/evening commute tide.
+    """
+    check_positive("load", load)
+    check_positive("reversal_time", reversal_time)
+    check_positive("peak_factor", peak_factor)
+    check_positive("offpeak_factor", offpeak_factor)
+    peak = load * BASE_RATE * peak_factor
+    off = load * BASE_RATE * offpeak_factor
+    morning_peak = (Direction.N, Direction.E)
+    profile: SideSchedules = {}
+    for side in Direction:
+        first, second = (peak, off) if side in morning_peak else (off, peak)
+        profile[side] = ArrivalSchedule.piecewise(
+            [(0.0, first), (reversal_time, second)]
+        )
+    return profile
+
+
+def surge_profile(
+    load: float = 1.0,
+    surge_start: float = 1200.0,
+    surge_duration: float = 1200.0,
+    surge_factor: float = 2.5,
+    surge_sides: Tuple[Direction, ...] = (Direction.N, Direction.E),
+) -> SideSchedules:
+    """Uniform base demand with a step-change surge window.
+
+    During ``[surge_start, surge_start + surge_duration)`` the
+    ``surge_sides`` jump to ``surge_factor`` times the base rate and
+    then drop back — the abrupt regime change backpressure control and
+    changepoint-sensitive evaluation care about.
+    """
+    check_positive("load", load)
+    check_positive("surge_start", surge_start)
+    check_positive("surge_duration", surge_duration)
+    check_positive("surge_factor", surge_factor)
+    base = load * BASE_RATE
+    surged = ArrivalSchedule.piecewise(
+        [
+            (0.0, base),
+            (surge_start, base * surge_factor),
+            (surge_start + surge_duration, base),
+        ]
+    )
+    steady = ArrivalSchedule.constant(base)
+    return {
+        side: surged if side in surge_sides else steady for side in Direction
+    }
+
+
+def asymmetric_turning(
+    heavy_side: Direction = Direction.N,
+    heavy_left: float = 0.55,
+    base_right: float = 0.15,
+    base_left: float = 0.15,
+) -> TurningProbabilities:
+    """Turning probabilities skewed towards one heavy left-turn side.
+
+    Vehicles entering from ``heavy_side`` mostly turn left (a
+    dominant turning stream starves the opposing straight phase —
+    the asymmetric workload the paper's Table I only hints at).
+    """
+    right = {side: base_right for side in Direction}
+    left = {side: base_left for side in Direction}
+    left[heavy_side] = heavy_left
+    return TurningProbabilities(right=right, left=left)

@@ -18,7 +18,7 @@ Example
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from repro.experiments.runner import build_engine
 from repro.experiments.scenario import Scenario

@@ -210,7 +210,6 @@ class TestWorkConservation:
     def test_serves_whenever_something_is_servable(self, intersection, controller):
         """Sec. IV-Q2: a phase with servable vehicles is always selected
         over phases that cannot serve (mini-slot work conservation)."""
-        import itertools
 
         movements = list(intersection.movements.values())
         for servable in movements:

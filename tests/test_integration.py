@@ -1,7 +1,5 @@
 """Cross-module integration tests: closed-loop behaviour on both engines."""
 
-import pytest
-
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import build_scenario
 

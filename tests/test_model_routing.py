@@ -5,7 +5,6 @@ import pytest
 
 from repro.experiments.patterns import TURNING
 from repro.model.geometry import Direction, TurnType
-from repro.model.grid import build_grid_network
 from repro.model.routing import RouteSampler, TurningProbabilities
 
 

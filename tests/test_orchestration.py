@@ -118,6 +118,50 @@ class TestSweepGrid:
         grid = SweepGrid(controllers=["util-bp"])
         assert grid.controllers == (("util-bp", ()),)
 
+    def test_scenarios_axis_concatenates_with_patterns(self):
+        grid = SweepGrid(
+            patterns=("I",),
+            scenarios=("surge-4x4", ("tidal-3x3", {"load": 1.2})),
+            seeds=(1, 2),
+            durations=(120.0,),
+        )
+        specs = grid.specs()
+        assert len(grid) == len(specs) == 6
+        workloads = {spec.pattern for spec in specs}
+        assert workloads == {"I", "surge-4x4", "tidal-3x3"}
+        tidal = [s for s in specs if s.pattern == "tidal-3x3"]
+        assert all(("load", 1.2) in s.scenario_params for s in tidal)
+
+    def test_per_entry_params_win_over_shared(self):
+        grid = SweepGrid(
+            patterns=(),
+            scenarios=(("steady-3x3", {"load": 2.0}),),
+            scenario_params={"load": 1.0, "capacity": 60},
+            durations=(60.0,),
+        )
+        (spec,) = grid.specs()
+        assert dict(spec.scenario_params) == {"load": 2.0, "capacity": 60}
+
+    def test_scenarios_only_grid_sweeps_no_default_pattern(self):
+        grid = SweepGrid(scenarios=("surge-4x4",), durations=(60.0,))
+        assert grid.workloads() == (("surge-4x4", ()),)
+        assert len(grid) == 1
+
+    def test_default_grid_still_sweeps_pattern_one(self):
+        grid = SweepGrid(durations=(60.0,))
+        assert grid.workloads() == (("I", ()),)
+
+    def test_scenario_cell_builds_and_executes(self):
+        spec = SweepGrid(
+            patterns=(),
+            scenarios=("incident-3x3",),
+            durations=(60.0,),
+        ).specs()[0]
+        scenario = spec.make_scenario()
+        assert scenario.name == "incident-3x3"
+        result = spec.execute()
+        assert result.scenario_name == "incident-3x3"
+
 
 class TestExperimentPool:
     def _specs(self):
@@ -152,6 +196,17 @@ class TestExperimentPool:
         assert warm.stats.cache_hits == 1  # one read, fanned out
         assert warm.stats.executed == 0
         assert results[0] == results[1]
+
+    def test_scenario_spec_round_trips_through_cache(self, tmp_path):
+        spec = RunSpec(pattern="surge-3x3", duration=60.0)
+        cold = ExperimentPool(cache_dir=tmp_path)
+        first = cold.run_one(spec)
+        warm = ExperimentPool(cache_dir=tmp_path)
+        second = warm.run_one(spec)
+        assert warm.stats.cache_hits == 1
+        assert warm.stats.executed == 0
+        assert first == second
+        assert first.scenario_name == "surge-3x3"
 
     def test_warm_cache_executes_nothing(self, tmp_path):
         specs = self._specs()

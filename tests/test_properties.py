@@ -9,7 +9,6 @@ from repro.core.pressure import link_gain, link_gain_original
 from repro.micro.krauss import next_speed, safe_speed
 from repro.micro.params import KraussParams
 from repro.model.arrivals import ArrivalSchedule
-from repro.model.geometry import Direction, TurnType
 from repro.model.grid import build_grid_network
 from repro.model.queues import queue_dynamics_step
 from repro.model.routing import RouteSampler, TurningProbabilities

@@ -1,0 +1,148 @@
+"""The scenario catalog: registration, determinism, spec round-trips,
+and 50-step closed-loop runs on both engines for every entry."""
+
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.orchestration import RunSpec
+from repro.scenarios import (
+    Scenario,
+    build_named_scenario,
+    catalog_entries,
+    family_names,
+    is_scenario_name,
+    scenario_names,
+)
+
+ALL_SCENARIOS = scenario_names()
+
+
+def _demand_segments(scenario):
+    return {
+        road: schedule.segments for road, schedule in scenario.demand.items()
+    }
+
+
+class TestCatalog:
+    def test_catalog_size(self):
+        assert len(ALL_SCENARIOS) >= 8
+
+    def test_entries_cover_required_families(self):
+        families = set(family_names())
+        assert {
+            "steady", "tidal", "surge", "incident", "asymmetric"
+        } <= families
+
+    def test_entries_have_descriptions(self):
+        for entry in catalog_entries():
+            assert entry.description
+            assert entry.grid.count("x") == 1
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_every_entry_builds(self, name):
+        scenario = build_named_scenario(name, seed=7)
+        assert isinstance(scenario, Scenario)
+        assert scenario.name == name
+        assert scenario.seed == 7
+        assert scenario.default_duration > 0
+        assert set(scenario.demand) <= set(scenario.network.entry_roads())
+        assert scenario.demand  # at least one fed entry
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_build_is_deterministic(self, name):
+        a = build_named_scenario(name, seed=5)
+        b = build_named_scenario(name, seed=5)
+        assert _demand_segments(a) == _demand_segments(b)
+        assert set(a.network.roads) == set(b.network.roads)
+        assert {
+            r: road.capacity for r, road in a.network.roads.items()
+        } == {r: road.capacity for r, road in b.network.roads.items()}
+        assert a.turning == b.turning
+
+    def test_unknown_name_rejected(self):
+        assert not is_scenario_name("rush-hour-spiral")
+        with pytest.raises(ValueError, match="unknown scenario"):
+            build_named_scenario("rush-hour-spiral")
+
+    def test_dynamic_grid_resolution(self):
+        assert is_scenario_name("steady-2x5")
+        scenario = build_named_scenario("steady-2x5", seed=1)
+        assert len(scenario.network.intersections) == 10
+        assert scenario.name == "steady-2x5"
+
+    def test_zero_dimension_grids_rejected_eagerly(self):
+        assert not is_scenario_name("steady-0x3")
+        assert not is_scenario_name("steady-3x0")
+        with pytest.raises(ValueError, match="unknown scenario"):
+            build_named_scenario("steady-0x3")
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_duration_override_accepted_by_every_family(self, name):
+        scenario = build_named_scenario(name, duration=600.0)
+        assert scenario.default_duration == 600.0
+
+    def test_load_override(self):
+        base = build_named_scenario("steady-3x3")
+        heavy = build_named_scenario("steady-3x3", load=2.0)
+        for road, schedule in base.demand.items():
+            assert heavy.demand[road].rate_at(0.0) == pytest.approx(
+                2.0 * schedule.rate_at(0.0)
+            )
+
+
+class TestRunSpecIntegration:
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_roundtrip_through_runspec(self, name):
+        spec = RunSpec(
+            pattern=name, duration=60.0, scenario_params={"load": 1.1}
+        )
+        rebuilt = RunSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.spec_hash() == spec.spec_hash()
+        assert rebuilt.make_scenario().name == name
+
+    def test_unknown_scenario_rejected_at_spec_construction(self):
+        with pytest.raises(ValueError, match="unknown pattern/scenario"):
+            RunSpec(pattern="warp-9x9x9")
+
+    def test_spec_hash_distinguishes_scenarios(self):
+        hashes = {
+            RunSpec(pattern=name, duration=60.0).spec_hash()
+            for name in ALL_SCENARIOS
+        }
+        assert len(hashes) == len(ALL_SCENARIOS)
+
+
+class TestClosedLoopRuns:
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_runs_50_steps_on_meso(self, name):
+        result = run_scenario(
+            build_named_scenario(name, seed=2),
+            controller="util-bp",
+            duration=50.0,
+            engine="meso",
+        )
+        assert result.duration == 50.0
+        assert result.summary.vehicles_entered > 0
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_runs_50_steps_on_micro(self, name):
+        result = run_scenario(
+            build_named_scenario(name, seed=2),
+            controller="util-bp",
+            duration=50.0,
+            engine="micro",
+        )
+        assert result.duration == 50.0
+
+    @pytest.mark.parametrize("name", ("surge-4x4", "incident-3x3"))
+    def test_run_is_deterministic_for_fixed_seed(self, name):
+        def run():
+            return run_scenario(
+                build_named_scenario(name, seed=9),
+                controller="util-bp",
+                duration=50.0,
+                engine="meso",
+            )
+
+        assert run().to_dict() == run().to_dict()

@@ -138,6 +138,58 @@ class TestCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--controllers", "magic"])
 
+
+class TestScenariosCli:
+    def test_list_shows_catalog(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("surge-4x4", "tidal-3x3", "incident-3x3"):
+            assert name in out
+
+    def test_list_shows_at_least_eight(self, capsys):
+        from repro.scenarios import scenario_names
+
+        main(["scenarios", "list"])
+        out = capsys.readouterr().out
+        listed = [n for n in scenario_names() if n in out]
+        assert len(listed) >= 8
+
+    def test_show_builds_the_scenario(self, capsys):
+        assert main(["scenarios", "show", "incident-4x4"]) == 0
+        out = capsys.readouterr().out
+        assert "16 intersections" in out
+        assert "road capacities" in out
+
+    def test_show_accepts_dynamic_names(self, capsys):
+        assert main(["scenarios", "show", "steady-2x2"]) == 0
+        assert "4 intersections" in capsys.readouterr().out
+
+    def test_sweep_scenario_flag_parses(self):
+        args = build_parser().parse_args(
+            ["sweep", "--scenario", "surge-4x4", "--load", "1.2"]
+        )
+        assert args.scenarios == ["surge-4x4"]
+        assert args.load == 1.2
+        assert args.patterns is None
+
+    def test_sweep_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--scenario", "magic-grid"])
+
+    def test_sweep_load_without_scenario_errors(self, capsys):
+        code = main(["sweep", "--patterns", "I", "--load", "1.4"])
+        assert code == 2
+        assert "--load" in capsys.readouterr().err
+
+    def test_sweep_runs_scenario_end_to_end(self, capsys):
+        code = main(
+            ["sweep", "--scenario", "surge-3x3", "--duration", "60"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "surge-3x3" in out
+        assert "executed 1" in out
+
     def test_sweep_command_runs(self, capsys):
         code = main(
             [
