@@ -1,0 +1,76 @@
+"""Engine x scenario matrix: meso vs meso-counts across the catalog.
+
+One pytest-benchmark case per (catalog entry, mesoscopic engine): warm
+the network up, then measure closed-loop mini-slots per second under
+UTIL-BP.  Comparing the two engine columns of the printed matrix shows
+where the counts-based backend pays off (everywhere, increasingly so
+on larger grids) and doubles as a drift alarm: if an engine change
+erodes the ratio, this benchmark shows *which* workload shape lost it,
+while ``scripts/bench_ci.py`` gates the headline number in CI.
+
+The micro engine is deliberately excluded — it is 1-2 orders slower
+and has its own benchmark (``bench_engine_perf.py``).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_matrix.py \
+        --benchmark-only --benchmark-group-by=param:name -q
+"""
+
+import pytest
+
+from repro.control.factory import make_network_controller
+from repro.experiments.runner import build_engine
+from repro.scenarios import build_named_scenario, scenario_names
+
+#: Mini-slots simulated before measuring, so queues are populated and
+#: the steady-state step cost (not the empty-network cost) is timed.
+WARMUP_STEPS = 90
+
+ENGINES = ("meso", "meso-counts")
+
+
+@pytest.fixture(
+    scope="module",
+    params=[
+        (name, engine)
+        for name in scenario_names()
+        for engine in ENGINES
+    ],
+    ids=lambda param: f"{param[0]}-{param[1]}",
+)
+def warm_cell(request):
+    name, engine = request.param
+    scenario = build_named_scenario(name, seed=1)
+    sim = build_engine(scenario, engine)
+    controller = make_network_controller("util-bp", scenario.network)
+    for _ in range(WARMUP_STEPS):
+        sim.step(1.0, controller.decide(sim.observations()))
+    return name, engine, sim, controller
+
+
+def test_engine_matrix_step_rate(benchmark, warm_cell):
+    name, engine, sim, controller = warm_cell
+
+    def one_mini_slot():
+        sim.step(1.0, controller.decide(sim.observations()))
+
+    benchmark(one_mini_slot)
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        steps_per_second = 1.0 / benchmark.stats.stats.mean
+        print(f"\n{name}: {steps_per_second:,.0f} steps/s ({engine})")
+
+
+def test_matrix_cells_agree_on_dynamics():
+    """The matrix compares cost, so both cells must do the same work:
+    spot-check that a pair of warm cells produced identical trajectories
+    (full equivalence lives in tests/test_engine_parity.py)."""
+    runs = {}
+    for engine in ENGINES:
+        scenario = build_named_scenario("steady-3x3", seed=1)
+        sim = build_engine(scenario, engine)
+        controller = make_network_controller("util-bp", scenario.network)
+        for _ in range(WARMUP_STEPS):
+            sim.step(1.0, controller.decide(sim.observations()))
+        runs[engine] = (sim.vehicles_in_network(), sim.backlog_size())
+    assert runs["meso"] == runs["meso-counts"]

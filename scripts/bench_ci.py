@@ -1,17 +1,31 @@
-"""Fast benchmark subset with a committed-baseline regression gate.
+"""Fast benchmark subset with committed-baseline and speedup gates.
 
-Measures closed-loop steps/second of a small, fixed workload set (meso
-and micro engines over catalog scenarios), writes the numbers to
-``BENCH_ci.json`` and fails (exit 1) if any workload's throughput
-dropped more than ``--threshold`` (default 25%) versus the committed
-baseline ``benchmarks/baseline_ci.json``.
+Measures two kinds of steps/second on a small, fixed workload set:
+
+* **closed-loop** — engine + util-bp controller, the end-to-end cost a
+  sweep cell pays (keys like ``meso/steady-3x3``);
+* **engine-stepping** — ``observations() + step()`` under a fixed
+  phase plan, isolating the simulation backend from the controller
+  (keys like ``engine/meso/steady-8x8``).
+
+Two gates, both enforced in CI:
+
+1. **Regression gate** — writes the numbers to ``BENCH_ci.json`` and
+   fails (exit 1) if any workload's calibration-normalized throughput
+   dropped more than ``--threshold`` (default 25%) versus the
+   committed baseline ``benchmarks/baseline_ci.json``.
+2. **Speedup gate** — fails (exit 1) if the ``meso-counts`` engine is
+   not at least ``--min-speedup`` (default 5x) faster than the
+   reference ``meso`` engine on the gated scenario, comparing raw
+   same-machine steps/s.  This pins the fast engine's reason to exist:
+   a change that erodes the speedup below 5x defeats the point of
+   maintaining a second backend.
 
 Raw steps/second is machine-dependent, so every run also times a fixed
-pure-Python/numpy *calibration* workload and gates on the
-calibration-normalized ratio ``steps_per_second / calibration_score``.
-That makes the committed baseline meaningful across laptops and CI
-runners of different speeds; the 25% threshold absorbs the residual
-noise.
+pure-Python/numpy *calibration* workload and gates the baseline
+comparison on the normalized ratio ``steps_per_second /
+calibration_score``; the speedup gate is a same-run ratio and needs no
+normalization.
 
 Usage
 -----
@@ -37,18 +51,36 @@ from repro.scenarios import build_named_scenario
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline_ci.json"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
-#: The gated workloads: (key, engine, scenario name, measured steps).
+#: Closed-loop workloads: (key, engine, scenario name, measured steps).
 WORKLOADS = (
     ("meso/steady-3x3", "meso", "steady-3x3", 400),
     ("meso/surge-4x4", "meso", "surge-4x4", 250),
     ("meso/incident-3x3", "meso", "incident-3x3", 400),
+    ("meso-counts/surge-4x4", "meso-counts", "surge-4x4", 250),
     ("micro/steady-3x3", "micro", "steady-3x3", 120),
+)
+
+#: Engine-stepping workloads (fixed phase plan, no controller).
+ENGINE_WORKLOADS = (
+    ("engine/meso/steady-10x10", "meso", "steady-10x10", 200),
+    ("engine/meso-counts/steady-10x10", "meso-counts", "steady-10x10", 200),
+)
+
+#: Same-run speedup gates: (fast key, reference key).  The 10x10
+#: steady grid is the gated scenario: large enough that per-step fixed
+#: costs amortize, the regime the counts engine exists for (mass
+#: scenario x seed sweeps).
+SPEEDUP_GATES = (
+    ("engine/meso-counts/steady-10x10", "engine/meso/steady-10x10"),
 )
 
 #: Mini-slots simulated before timing starts (populate the queues).
 WARMUP_STEPS = 60
+
+#: Green dwell of the fixed phase plan used for engine stepping.
+PHASE_DWELL = 15
 
 
 def calibration_score(repeats: int = 3) -> float:
@@ -92,7 +124,38 @@ def measure_steps_per_second(
     return best
 
 
-def run_benchmarks(repeats: int) -> Dict:
+def measure_engine_steps_per_second(
+    engine: str, scenario_name: str, steps: int, repeats: int
+) -> float:
+    """Best-of-``repeats`` engine-only step rate (fixed phase plan).
+
+    Each step still builds the observations — that is part of an
+    engine's per-mini-slot duty in the closed loop — but the phase
+    decisions come from a precomputed cycle so no controller cost
+    dilutes the engine comparison.
+    """
+    best = 0.0
+    for attempt in range(repeats):
+        scenario = build_named_scenario(scenario_name, seed=1 + attempt)
+        sim = build_engine(scenario, engine)
+        nodes = list(scenario.network.intersections)
+        plan = [
+            {node: 1 + (k // PHASE_DWELL) % 4 for node in nodes}
+            for k in range(WARMUP_STEPS + steps)
+        ]
+        for k in range(WARMUP_STEPS):
+            sim.observations()
+            sim.step(1.0, plan[k])
+        start = time.perf_counter()
+        for k in range(WARMUP_STEPS, WARMUP_STEPS + steps):
+            sim.observations()
+            sim.step(1.0, plan[k])
+        elapsed = time.perf_counter() - start
+        best = max(best, steps / elapsed)
+    return best
+
+
+def run_benchmarks(repeats: int, min_speedup: float) -> Dict:
     calibration = calibration_score()
     results = {}
     for key, engine, scenario_name, steps in WORKLOADS:
@@ -102,14 +165,60 @@ def run_benchmarks(repeats: int) -> Dict:
             "normalized": round(rate / calibration, 5),
         }
         print(
-            f"  {key:<22} {rate:>10,.0f} steps/s   "
+            f"  {key:<30} {rate:>10,.0f} steps/s   "
             f"(normalized {rate / calibration:.3f})"
+        )
+    for key, engine, scenario_name, steps in ENGINE_WORKLOADS:
+        rate = measure_engine_steps_per_second(
+            engine, scenario_name, steps, repeats
+        )
+        results[key] = {
+            "steps_per_second": round(rate, 2),
+            "normalized": round(rate / calibration, 5),
+        }
+        print(
+            f"  {key:<30} {rate:>10,.0f} steps/s   "
+            f"(normalized {rate / calibration:.3f})"
+        )
+    speedups = []
+    for fast_key, reference_key in SPEEDUP_GATES:
+        ratio = (
+            results[fast_key]["steps_per_second"]
+            / results[reference_key]["steps_per_second"]
+        )
+        speedups.append(
+            {
+                "fast": fast_key,
+                "reference": reference_key,
+                "ratio": round(ratio, 3),
+                "minimum": min_speedup,
+            }
         )
     return {
         "version": SCHEMA_VERSION,
         "calibration_score": round(calibration, 2),
         "results": results,
+        "speedups": speedups,
     }
+
+
+def gate_speedups(current: Dict) -> int:
+    """Enforce the same-run engine speedup gates; return the exit code."""
+    code = 0
+    for gate in current.get("speedups", []):
+        status = "ok" if gate["ratio"] >= gate["minimum"] else "TOO SLOW"
+        print(
+            f"  {gate['fast']} vs {gate['reference']}: "
+            f"{gate['ratio']:.2f}x (gate >= {gate['minimum']:.1f}x)  {status}"
+        )
+        if status != "ok":
+            print(
+                f"\nspeedup gate FAILED: {gate['fast']} must be at least "
+                f"{gate['minimum']:.1f}x faster than {gate['reference']}",
+                file=sys.stderr,
+            )
+            code = 1
+    return code
 
 
 def compare(current: Dict, baseline: Dict, threshold: float) -> int:
@@ -130,7 +239,7 @@ def compare(current: Dict, baseline: Dict, threshold: float) -> int:
         ratio = entry["normalized"] / base["normalized"]
         status = "ok" if ratio >= 1.0 - threshold else "REGRESSION"
         print(
-            f"  {key:<22} normalized {entry['normalized']:.3f} vs "
+            f"  {key:<30} normalized {entry['normalized']:.3f} vs "
             f"baseline {base['normalized']:.3f}  ({ratio:.0%})  {status}"
         )
         if status != "ok":
@@ -161,6 +270,13 @@ def main() -> int:
         help="maximum tolerated normalized steps/s drop (default 0.25)",
     )
     parser.add_argument(
+        "--min-speedup", type=float, default=5.0,
+        help=(
+            "required meso-counts over meso steps/s ratio on the gated "
+            "scenario (default 5.0)"
+        ),
+    )
+    parser.add_argument(
         "--repeats", type=int, default=3,
         help="timing repeats per workload (best is kept)",
     )
@@ -171,14 +287,17 @@ def main() -> int:
     args = parser.parse_args()
 
     print("running CI benchmark subset:")
-    current = run_benchmarks(args.repeats)
+    current = run_benchmarks(args.repeats, args.min_speedup)
     args.output.write_text(json.dumps(current, indent=2) + "\n")
     print(f"\nwrote {args.output}")
+
+    print("\nengine speedup gate:")
+    speedup_code = gate_speedups(current)
 
     if args.update_baseline:
         args.baseline.write_text(json.dumps(current, indent=2) + "\n")
         print(f"updated baseline {args.baseline}")
-        return 0
+        return speedup_code
 
     if not args.baseline.exists():
         print(
@@ -190,7 +309,8 @@ def main() -> int:
 
     print(f"\ngating against {args.baseline} (threshold {args.threshold:.0%}):")
     baseline = json.loads(args.baseline.read_text())
-    return compare(current, baseline, args.threshold)
+    regression_code = compare(current, baseline, args.threshold)
+    return regression_code or speedup_code
 
 
 if __name__ == "__main__":

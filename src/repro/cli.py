@@ -139,7 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="controllers, e.g. util-bp cap-bp:period=18",
     )
     sweep.add_argument("--seeds", nargs="+", type=int, default=[1])
-    sweep.add_argument("--engine", choices=ENGINE_NAMES, default="meso")
+    sweep.add_argument(
+        "--engine", "--engines", dest="engine", nargs="+",
+        choices=ENGINE_NAMES, default=["meso"], metavar="ENGINE",
+        help=(
+            "engines axis of the grid; several names sweep every "
+            f"workload on each of them (known: {', '.join(ENGINE_NAMES)})"
+        ),
+    )
     sweep.add_argument("--duration", type=float, default=1800.0)
     _add_pool_options(sweep)
 
@@ -213,7 +220,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         ),
         controllers=tuple(args.controllers),
         seeds=tuple(args.seeds),
-        engines=(args.engine,),
+        engines=tuple(args.engine),
         durations=(args.duration,),
     )
     specs = grid.specs()
@@ -224,6 +231,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
             spec.pattern,
             spec.controller,
             ",".join(f"{k}={v}" for k, v in spec.controller_params) or "-",
+            spec.engine,
             spec.seed,
             f"{result.average_queuing_time:.2f}",
             f"{result.summary.throughput_per_hour:.0f}",
@@ -237,6 +245,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
                 "pattern",
                 "controller",
                 "params",
+                "engine",
                 "seed",
                 "avg queuing [s]",
                 "thru [veh/h]",
@@ -244,8 +253,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
             ),
             rows,
             title=(
-                f"Sweep — {len(specs)} cells, engine {args.engine}, "
-                f"duration {args.duration:.0f} s"
+                f"Sweep — {len(specs)} cells, engines "
+                f"{','.join(args.engine)}, duration {args.duration:.0f} s"
             ),
         )
     )

@@ -1,8 +1,9 @@
 """The formal simulation-engine contract and the engine registry.
 
 Every plant the control loop can drive — the mesoscopic
-store-and-forward simulator, the microscopic Krauss simulator, and any
-future backend (a real SUMO bridge, a hardware-in-the-loop rig) —
+store-and-forward simulator (``meso``), its counts-based fast variant
+(``meso-counts``), the microscopic Krauss simulator (``micro``), and
+any future backend (a real SUMO bridge, a hardware-in-the-loop rig) —
 implements the :class:`SimulationEngine` protocol:
 
 * ``time`` — the current simulation clock (s);
@@ -89,6 +90,7 @@ _ENGINE_BUILDERS: Dict[str, Callable[["Scenario"], SimulationEngine]] = {}
 #: Modules whose import registers a built-in engine.
 _BUILTIN_MODULES: Dict[str, str] = {
     "meso": "repro.meso.simulator",
+    "meso-counts": "repro.meso.counts",
     "micro": "repro.micro.simulator",
 }
 

@@ -11,9 +11,16 @@ This engine is one-to-two orders of magnitude faster than the
 microscopic one and is used for property-based tests (stability, work
 conservation) and large parameter sweeps; the paper's headline figures
 run on :mod:`repro.micro`.
+
+:mod:`repro.meso.counts` implements the same dynamics again on
+aggregate count structures (engine name ``"meso-counts"``): identical
+queue-count trajectories under a shared seed, several times faster,
+with aggregate-only metrics — the backend of choice for large
+scenario×seed replication sweeps.
 """
 
+from repro.meso.counts import CountsSimulator
 from repro.meso.simulator import MesoSimulator
 from repro.meso.vehicle import MesoVehicle
 
-__all__ = ["MesoSimulator", "MesoVehicle"]
+__all__ = ["CountsSimulator", "MesoSimulator", "MesoVehicle"]

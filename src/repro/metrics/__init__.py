@@ -10,11 +10,13 @@
   ablation benchmarks.
 """
 
+from repro.metrics.aggregate import AggregateMetricsCollector
 from repro.metrics.collector import MetricsCollector, Summary
 from repro.metrics.traces import PhaseTrace, QueueTrace
 from repro.metrics.utilization import UtilizationTracker
 
 __all__ = [
+    "AggregateMetricsCollector",
     "MetricsCollector",
     "Summary",
     "PhaseTrace",

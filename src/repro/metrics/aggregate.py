@@ -1,0 +1,122 @@
+"""Aggregate (counts-only) metrics accounting for the fast engine.
+
+The per-vehicle :class:`~repro.metrics.collector.MetricsCollector`
+keeps one record per vehicle, which is exactly the overhead the
+counts-based engine exists to avoid.  This module provides the
+aggregate alternative: the engine reports, once per mini-slot, how many
+vehicles are currently waiting (queued at a stop line or gated in an
+entry backlog) and how many are inside the network, and the collector
+integrates those counts over time.
+
+What stays **exact** (bit-for-bit equal to the per-vehicle books at
+finalize time, for any fixed mini-slot):
+
+* vehicles entered / left and throughput;
+* *total* queuing time — the time integral of the waiting-vehicle
+  count equals the sum of per-vehicle waiting durations, because both
+  queue joins and services happen on mini-slot boundaries;
+* average queuing time (total / entered).
+
+What becomes an **estimate** (flagged via ``Summary.delay_mode ==
+"aggregate"``):
+
+* average travel time — Little's-law estimate: the vehicle-seconds
+  spent inside the network divided by the number of completed trips;
+* max queuing time — unavailable without per-vehicle records,
+  reported as 0.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.collector import Summary
+
+__all__ = ["AggregateMetricsCollector"]
+
+
+@dataclass
+class AggregateMetricsCollector:
+    """Integrates aggregate vehicle counts instead of per-vehicle records.
+
+    Duck-type compatible with the surface of
+    :class:`~repro.metrics.collector.MetricsCollector` that engines,
+    the runner and the tests use: ``advance``/``now``,
+    ``vehicles_entered``, ``vehicles_left`` and ``summary``.
+    """
+
+    vehicles_entered: int = 0
+    vehicles_left: int = 0
+    #: Exact: integral of (queued + backlogged vehicles) over time.
+    total_queuing_time: float = 0.0
+    #: Basis of the Little's-law travel-time estimate: integral of
+    #: vehicles-in-network over time.
+    network_time_integral: float = 0.0
+    _clock: float = 0.0
+
+    def advance(self, now: float) -> None:
+        """Move the collector clock forward (monotonic)."""
+        if now < self._clock:
+            raise ValueError(f"clock moved backwards: {now} < {self._clock}")
+        self._clock = now
+
+    @property
+    def now(self) -> float:
+        """The collector's current clock."""
+        return self._clock
+
+    def record_interval(
+        self, dt: float, waiting: int, in_network: int
+    ) -> None:
+        """Integrate one mini-slot's aggregate counts.
+
+        ``waiting`` is the number of vehicles currently accruing
+        queuing time (stop-line queues plus entry backlog);
+        ``in_network`` the total vehicles inside the network.  Both are
+        the counts *after* the slot's events, which makes the integral
+        equal the per-vehicle sum (joins and services land on slot
+        boundaries).
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be > 0, got {dt}")
+        if waiting < 0 or in_network < 0:
+            raise ValueError(
+                f"counts must be >= 0, got waiting={waiting}, "
+                f"in_network={in_network}"
+            )
+        self.total_queuing_time += dt * waiting
+        self.network_time_integral += dt * in_network
+
+    def absorb_backlog(self, count: int) -> None:
+        """Count still-gated vehicles as entered (end-of-run books).
+
+        Mirrors the reference engine's ``finalize``: vehicles generated
+        but never admitted have spent their whole existence in depart
+        delay, which the waiting integral already accrued; here they
+        join the entered population so averages divide by the same
+        denominator as the per-vehicle collector.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self.vehicles_entered += count
+
+    def summary(self, duration: Optional[float] = None) -> Summary:
+        """Aggregate the run into a :class:`Summary` (``delay_mode="aggregate"``)."""
+        horizon = self._clock if duration is None else duration
+        entered = self.vehicles_entered
+        left = self.vehicles_left
+        avg_queuing = self.total_queuing_time / entered if entered else 0.0
+        avg_travel = self.network_time_integral / left if left else 0.0
+        throughput = left / horizon * 3600.0 if horizon > 0 else 0.0
+        return Summary(
+            duration=horizon,
+            vehicles_entered=entered,
+            vehicles_left=left,
+            average_queuing_time=avg_queuing,
+            average_travel_time=avg_travel,
+            total_queuing_time=self.total_queuing_time,
+            max_queuing_time=0.0,
+            throughput_per_hour=throughput,
+            delay_mode="aggregate",
+        )

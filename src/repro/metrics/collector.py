@@ -31,14 +31,25 @@ class Summary:
     total_queuing_time: float
     max_queuing_time: float
     throughput_per_hour: float
+    #: How delay metrics were obtained: ``"per-vehicle"`` (exact
+    #: per-vehicle records) or ``"aggregate"`` (counts-based engine:
+    #: queuing totals exact, travel time a Little's-law estimate,
+    #: max queuing unavailable).
+    delay_mode: str = "per-vehicle"
 
     def __str__(self) -> str:
+        flag = (
+            ""
+            if self.delay_mode == "per-vehicle"
+            else f" [{self.delay_mode}: travel time is a Little's-law estimate]"
+        )
         return (
             f"Summary(entered={self.vehicles_entered}, "
             f"left={self.vehicles_left}, "
             f"avg_queuing={self.average_queuing_time:.2f}s, "
             f"avg_travel={self.average_travel_time:.2f}s, "
             f"throughput={self.throughput_per_hour:.0f}/h)"
+            f"{flag}"
         )
 
     def to_dict(self) -> Dict[str, float]:
@@ -57,6 +68,7 @@ class Summary:
             total_queuing_time=float(payload["total_queuing_time"]),
             max_queuing_time=float(payload["max_queuing_time"]),
             throughput_per_hour=float(payload["throughput_per_hour"]),
+            delay_mode=str(payload.get("delay_mode", "per-vehicle")),
         )
 
 

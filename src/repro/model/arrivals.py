@@ -45,6 +45,11 @@ class ArrivalSchedule:
                 raise ValueError("segment start times must strictly increase")
             check_non_negative("rate", rate)
             previous = start
+        # Precomputed lookup tables (the schedule is frozen): segment
+        # start times and, aligned with them, each segment's end.
+        starts = tuple(start for start, _ in self.segments)
+        object.__setattr__(self, "_starts", starts)
+        object.__setattr__(self, "_ends", starts[1:] + (float("inf"),))
 
     @classmethod
     def constant(cls, rate: float) -> "ArrivalSchedule":
@@ -69,18 +74,24 @@ class ArrivalSchedule:
         """The arrival rate (veh/s) in force at ``time``."""
         if time < 0:
             raise ValueError(f"time must be >= 0, got {time}")
-        starts = [seg[0] for seg in self.segments]
-        idx = bisect_right(starts, time) - 1
+        idx = bisect_right(self._starts, time) - 1
         return self.segments[idx][1]
 
     def expected_count(self, start: float, end: float) -> float:
         """Expected number of arrivals in ``[start, end)``."""
         if end < start:
             raise ValueError(f"end {end} precedes start {start}")
+        # Fast path: the whole interval inside one segment (the shape
+        # of every per-mini-slot query).  ``rate * (end - start)`` is
+        # exactly what the general loop computes for this case.  A
+        # pre-horizon start (< 0) takes the general loop, which clips.
+        if start >= 0.0:
+            idx = bisect_right(self._starts, start) - 1
+            if end <= self._ends[idx]:
+                return self.segments[idx][1] * (end - start)
         total = 0.0
-        boundaries = [seg[0] for seg in self.segments] + [float("inf")]
         for idx, (seg_start, rate) in enumerate(self.segments):
-            seg_end = boundaries[idx + 1]
+            seg_end = self._ends[idx]
             lo = max(start, seg_start)
             hi = min(end, seg_end)
             if hi > lo:
@@ -96,9 +107,39 @@ class PoissonArrivals:
     controller runs.
     """
 
+    #: Pre-drawn counts per batch; bounds the look-ahead of the stream.
+    BATCH_SIZE = 64
+    #: Identical-mean calls seen before batching kicks in.  Guards the
+    #: pathological case of a caller whose per-call means never repeat
+    #: (irregular ``dt`` grids), which would otherwise draw-and-discard.
+    BATCH_AFTER = 3
+
     def __init__(self, schedule: ArrivalSchedule, rng: np.random.Generator):
         self.schedule = schedule
         self._rng = rng
+        # Batched-draw state: numpy fills an array with exactly the
+        # values repeated scalar calls would produce (verified by
+        # tests), so pre-drawing a batch of same-mean counts is
+        # bit-identical to drawing one per step — while paying the
+        # numpy call overhead once per BATCH_SIZE steps instead of
+        # every step.  Batching only engages for binary-exact ``dt``
+        # (integers, halves, quarters, ... — every accumulated step
+        # time and per-step mean is then float-exact and constant
+        # within a segment) and batches never reach a rate-segment
+        # boundary, so no pre-drawn value is ever discarded and the
+        # sequence provably equals the unbatched one.  Non-dyadic
+        # ``dt`` grids (0.1, 0.7, ...) accumulate rounding error that
+        # makes per-step means fluctuate in the last ulp; they always
+        # take the scalar path, which is the unbatched code itself.
+        self._batch: List[int] = []
+        self._batch_pos = 0
+        self._batch_mean = -1.0
+        self._streak_mean = -1.0
+        self._streak = 0
+        # Cursor into the schedule's segments: queries arrive with
+        # (almost always) non-decreasing start times, so remembering
+        # the last segment makes the lookup O(1) amortized.
+        self._segment_cursor = 0
 
     def sample_count(self, start: float, dt: float) -> int:
         """``A(k, k+1)`` — arrivals in ``[start, start+dt)``.
@@ -107,10 +148,53 @@ class PoissonArrivals:
         so the process stays Poisson even when ``[start, start+dt)``
         straddles a pattern change of the mixed schedule.
         """
-        check_positive("dt", dt)
-        mean = self.schedule.expected_count(start, start + dt)
+        if dt <= 0:
+            check_positive("dt", dt)
+        schedule = self.schedule
+        starts = schedule._starts
+        ends = schedule._ends
+        idx = self._segment_cursor
+        if start < starts[idx]:
+            idx = 0  # time went backwards (fresh run of a shared schedule)
+        while start >= ends[idx]:
+            idx += 1
+        self._segment_cursor = idx
+        end = start + dt
+        segment_end = ends[idx]
+        if end <= segment_end:
+            # Same expression as expected_count's single-segment path.
+            mean = schedule.segments[idx][1] * (end - start)
+        else:
+            mean = schedule.expected_count(start, end)
         if mean == 0.0:
             return 0
+        if mean == self._batch_mean and self._batch_pos < len(self._batch):
+            value = self._batch[self._batch_pos]
+            self._batch_pos += 1
+            return value
+        if mean == self._streak_mean:
+            self._streak += 1
+        else:
+            self._streak_mean = mean
+            self._streak = 1
+        if self._streak > self.BATCH_AFTER and (dt * 1048576.0).is_integer():
+            # Size the batch to stay strictly inside the current rate
+            # segment: the next segment's per-step mean differs, and a
+            # batch drawn with the old mean must never leak across.
+            # One step of slack absorbs any rounding in the division.
+            if segment_end == float("inf"):
+                size = self.BATCH_SIZE
+            else:
+                remaining = segment_end - end
+                if remaining < 0:
+                    remaining = 0.0
+                size = min(self.BATCH_SIZE, int(remaining / dt))
+            if size > 1:
+                self._batch = self._rng.poisson(mean, size=size).tolist()
+                self._batch_mean = mean
+                self._batch_pos = 1
+                return self._batch[0]
+        self._batch_mean = -1.0  # no valid batch pending
         return int(self._rng.poisson(mean))
 
     def sample_times(self, start: float, dt: float) -> List[float]:

@@ -49,6 +49,30 @@ class QueueObservation:
             if road not in self.out_capacities:
                 raise ValueError(f"road {road!r} has a queue but no capacity")
 
+    @classmethod
+    def trusted(
+        cls,
+        time: float,
+        movement_queues: Mapping[Tuple[str, str], int],
+        out_queues: Mapping[str, int],
+        out_capacities: Mapping[str, int],
+    ) -> "QueueObservation":
+        """Construct without ``__post_init__`` validation.
+
+        For engine-internal fast paths whose counts are non-negative by
+        construction (queue lengths, occupancies); building thousands
+        of observations per second through the validating constructor
+        is measurable.  External producers should use the normal
+        constructor.
+        """
+        obs = cls.__new__(cls)
+        fields = obs.__dict__
+        fields["time"] = time
+        fields["movement_queues"] = movement_queues
+        fields["out_queues"] = out_queues
+        fields["out_capacities"] = out_capacities
+        return obs
+
     def movement_queue(self, in_road: str, out_road: str) -> int:
         """``q_i^{i'}(k)`` for one movement (0 if the movement is unknown)."""
         return int(self.movement_queues.get((in_road, out_road), 0))

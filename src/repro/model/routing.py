@@ -19,7 +19,7 @@ approaches carry the full set of three turn movements (our grids do):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
@@ -96,6 +96,31 @@ class RouteSampler:
             if not movements:
                 raise ValueError(f"entry road {entry!r} has no movements")
             self._entry_side[entry] = movements[0].approach
+        # Routes are fully determined by (entry, turn road, turn type);
+        # networks are static, so each distinct route is walked and
+        # validated once and replayed from this cache afterwards.  The
+        # cache changes no RNG draw — sampling happens before lookup.
+        self._route_cache: Dict[Tuple[str, str, TurnType], List[str]] = {}
+        # Per-entry turn thresholds (right, right + left): lets the hot
+        # path draw the manoeuvre with one uniform sample and two plain
+        # float compares — the same draw ``sample_turn`` makes, without
+        # the enum-keyed mapping lookups.
+        self._turn_thresholds: Dict[str, Tuple[float, float]] = {
+            entry: (
+                turning.right[side],
+                turning.right[side] + turning.left[side],
+            )
+            for entry, side in self._entry_side.items()
+        }
+        #: Per entry road: the corridor roads a vehicle can turn at.
+        self._turn_candidates: Dict[str, List[str]] = {
+            entry: [
+                road
+                for road in corridor
+                if network.road_destination[road] != BOUNDARY
+            ]
+            for entry, corridor in self._corridors.items()
+        }
 
     def _movement_with_turn(self, road_id: str, turn: TurnType) -> str:
         """The out-road reached by taking ``turn`` at the end of ``road_id``."""
@@ -137,29 +162,38 @@ class RouteSampler:
         """Sample a complete route starting on ``entry_road``.
 
         Returns the ordered list of road ids, from the entry road to an
-        exit road inclusive.
+        exit road inclusive.  The list is shared between vehicles with
+        the same route (routes are static per network) — callers must
+        treat it as read-only, which every engine does: vehicles track
+        their position with a leg index and never edit the route.
         """
         corridor = self._corridors.get(entry_road)
         if corridor is None:
             raise KeyError(f"{entry_road!r} is not an entry road")
-        side = self._entry_side[entry_road]
-        turn = self.turning.sample_turn(side, self._rng)
-        if turn is TurnType.STRAIGHT:
-            return list(corridor)
+        # Same draw and decision logic as TurningProbabilities
+        # .sample_turn, on precomputed thresholds.
+        right, right_or_left = self._turn_thresholds[entry_road]
+        draw = self._rng.random()
+        if draw < right:
+            turn = TurnType.RIGHT
+        elif draw < right_or_left:
+            turn = TurnType.LEFT
+        else:
+            return corridor
         # A vehicle can turn at the downstream end of every corridor
         # road that feeds an intersection (the final exit road cannot).
-        turn_candidates = [
-            road
-            for road in corridor
-            if self.network.road_destination[road] != BOUNDARY
-        ]
+        turn_candidates = self._turn_candidates[entry_road]
         if not turn_candidates:
-            return list(corridor)
+            return corridor
         pick = int(self._rng.integers(0, len(turn_candidates)))
         turn_road = turn_candidates[pick]
-        prefix = corridor[: corridor.index(turn_road) + 1]
-        after_turn = self._movement_with_turn(turn_road, turn)
-        tail = self._straight_walk(after_turn)
-        route = prefix + tail
-        self.network.validate_route(route)
+        cache_key = (entry_road, turn_road, turn)
+        route = self._route_cache.get(cache_key)
+        if route is None:
+            prefix = corridor[: corridor.index(turn_road) + 1]
+            after_turn = self._movement_with_turn(turn_road, turn)
+            tail = self._straight_walk(after_turn)
+            route = prefix + tail
+            self.network.validate_route(route)
+            self._route_cache[cache_key] = route
         return route

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from itertools import product
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.core.engine import engine_names
 from repro.experiments.runner import RunResult, run_scenario
 from repro.scenarios import (
     Scenario,
@@ -92,6 +93,16 @@ class RunSpec:
             raise ValueError(
                 f"unknown pattern/scenario {self.pattern!r}; expected one of "
                 f"{PATTERN_NAMES} or a scenario-catalog name"
+            )
+        if self.engine not in engine_names():
+            # Fail at spec construction, not mid-sweep in a worker: an
+            # unknown engine (typo, or a plugin that was never
+            # registered/imported) would otherwise surface only after
+            # other cells burned compute.
+            raise ValueError(
+                f"unknown engine {self.engine!r}; known: "
+                f"{list(engine_names())} (plugins must register before "
+                f"specs are built)"
             )
         object.__setattr__(
             self, "controller_params", _freeze_params(self.controller_params)
@@ -280,7 +291,15 @@ class SweepGrid:
                 controllers.append((name, _freeze_params(params)))
         object.__setattr__(self, "controllers", tuple(controllers))
         object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
-        object.__setattr__(self, "engines", tuple(self.engines))
+        engines = tuple(self.engines)
+        known = engine_names()
+        for engine in engines:
+            if engine not in known:
+                raise ValueError(
+                    f"unknown engine {engine!r} in engines axis; known: "
+                    f"{list(known)}"
+                )
+        object.__setattr__(self, "engines", engines)
         durations = tuple(
             None if d is None else float(d) for d in self.durations
         )

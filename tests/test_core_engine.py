@@ -20,10 +20,10 @@ from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import build_scenario
 from repro.model.phases import TRANSITION_PHASE_INDEX
 
-ENGINES = ("meso", "micro")
+ENGINES = ("meso", "meso-counts", "micro")
 
 #: Short horizons keep the micro engine affordable in CI.
-HORIZON = {"meso": 90.0, "micro": 30.0}
+HORIZON = {"meso": 90.0, "meso-counts": 90.0, "micro": 30.0}
 
 
 def _make(engine: str):
@@ -38,7 +38,7 @@ def _drive(sim, steps: int, phase: int = 1) -> None:
 
 class TestRegistry:
     def test_builtin_names_exposed(self):
-        assert ENGINE_NAMES == ("meso", "micro")
+        assert ENGINE_NAMES == ("meso", "meso-counts", "micro")
         for name in ENGINE_NAMES:
             assert name in engine_names()
 
@@ -48,6 +48,7 @@ class TestRegistry:
 
     def test_provider_module(self):
         assert provider_module("meso") == "repro.meso.simulator"
+        assert provider_module("meso-counts") == "repro.meso.counts"
         assert provider_module("micro") == "repro.micro.simulator"
         assert provider_module("nonexistent") is None
 

@@ -96,3 +96,36 @@ class TestPoissonArrivals:
         )
         with pytest.raises(ValueError):
             process.sample_count(0.0, 0.0)
+
+    def _unbatched_reference(self, schedule, seed, starts, dt):
+        """The pre-batching implementation: one scalar draw per step."""
+        rng = np.random.default_rng(seed)
+        counts = []
+        for start in starts:
+            mean = schedule.expected_count(start, start + dt)
+            counts.append(0 if mean == 0.0 else int(rng.poisson(mean)))
+        return counts
+
+    @pytest.mark.parametrize("dt", [1.0, 0.5, 2.0, 0.7, 0.1, 0.3])
+    def test_batched_draws_match_unbatched_sequence(self, dt):
+        """Batching is a pure optimization: for any mini-slot width —
+        binary-exact (batched) or not (scalar fallback) — the count
+        sequence must equal the unbatched scalar implementation's,
+        including across rate-segment boundaries of a piecewise
+        schedule on an accumulated (float-error-carrying) time grid."""
+        schedule = ArrivalSchedule.piecewise(
+            [(0.0, 0.3), (40.0, 1.1), (90.0, 0.0), (130.0, 0.6)]
+        )
+        process = PoissonArrivals(schedule, np.random.default_rng(42))
+        starts = []
+        now = 0.0
+        while now < 200.0:
+            starts.append(now)
+            now += dt  # accumulate like the simulation clock does
+        counts = [process.sample_count(start, dt) for start in starts]
+        assert counts == self._unbatched_reference(schedule, 42, starts, dt)
+
+    def test_expected_count_clips_negative_start(self):
+        schedule = ArrivalSchedule.piecewise([(0.0, 1.0), (10.0, 2.0)])
+        assert schedule.expected_count(-5.0, 5.0) == pytest.approx(5.0)
+        assert schedule.expected_count(-5.0, 20.0) == pytest.approx(30.0)

@@ -70,6 +70,16 @@ class TestRunSpec:
         assert rebuilt == spec
         assert rebuilt.spec_hash() == spec.spec_hash()
 
+    def test_unknown_engine_rejected_at_construction(self):
+        """Engine typos must fail when the spec is built, not mid-sweep."""
+        with pytest.raises(ValueError, match="unknown engine"):
+            RunSpec(**{**QUICK, "engine": "warp-drive"})
+
+    def test_engine_axis_hashes_distinctly(self):
+        meso = RunSpec(**QUICK)
+        counts = RunSpec(**{**QUICK, "engine": "meso-counts"})
+        assert meso.spec_hash() != counts.spec_hash()
+
     def test_execute_matches_run_scenario(self):
         direct = run_scenario(
             build_scenario("I", seed=1),
@@ -150,6 +160,20 @@ class TestSweepGrid:
     def test_default_grid_still_sweeps_pattern_one(self):
         grid = SweepGrid(durations=(60.0,))
         assert grid.workloads() == (("I", ()),)
+
+    def test_engines_axis_expands_per_engine(self):
+        grid = SweepGrid(
+            patterns=("I",),
+            engines=("meso", "meso-counts"),
+            durations=(60.0,),
+        )
+        specs = grid.specs()
+        assert len(specs) == 2
+        assert {spec.engine for spec in specs} == {"meso", "meso-counts"}
+
+    def test_unknown_engine_in_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            SweepGrid(engines=("meso", "warp-drive"))
 
     def test_scenario_cell_builds_and_executes(self):
         spec = SweepGrid(
@@ -249,3 +273,29 @@ class TestExperimentPool:
         b = pool.run_one(RunSpec(**{**QUICK, "seed": 9}))
         assert pool.stats.executed == 2
         assert a.summary != b.summary
+
+    def test_cache_key_includes_engine(self, tmp_path):
+        """A cached ``meso`` result must never satisfy a ``meso-counts``
+        spec (or vice versa): the engines report different metric modes,
+        so serving one for the other would silently mislabel results."""
+        meso_spec = RunSpec(**QUICK)
+        counts_spec = RunSpec(**{**QUICK, "engine": "meso-counts"})
+        pool = ExperimentPool(cache_dir=tmp_path)
+        meso_result = pool.run_one(meso_spec)
+        counts_result = pool.run_one(counts_spec)
+        assert pool.stats.executed == 2  # second run was NOT a cache hit
+        assert pool.stats.cache_hits == 0
+        assert meso_result.summary.delay_mode == "per-vehicle"
+        assert counts_result.summary.delay_mode == "aggregate"
+        # Same seed, same dynamics: the trajectories agree even though
+        # the cache rightly keeps the cells separate.
+        assert (
+            counts_result.summary.vehicles_left
+            == meso_result.summary.vehicles_left
+        )
+        # Warm re-reads resolve each spec to its own entry.
+        warm = ExperimentPool(cache_dir=tmp_path)
+        assert warm.run_one(meso_spec).summary.delay_mode == "per-vehicle"
+        assert warm.run_one(counts_spec).summary.delay_mode == "aggregate"
+        assert warm.stats.cache_hits == 2
+        assert warm.stats.executed == 0
