@@ -6,7 +6,11 @@ Measures two kinds of steps/second on a small, fixed workload set:
   sweep cell pays (keys like ``meso/steady-3x3``);
 * **engine-stepping** — ``observations() + step()`` under a fixed
   phase plan, isolating the simulation backend from the controller
-  (keys like ``engine/meso/steady-8x8``).
+  (keys like ``engine/meso/steady-8x8``);
+* **store overhead** — ``ResultStore`` put/get/query operations per
+  second on a file-backed SQLite store (key ``store/put-get-query``):
+  the per-cell bookkeeping every sweep pays on top of simulating, so a
+  store regression shows up here before it drowns a mass sweep.
 
 Two gates, both enforced in CI:
 
@@ -39,6 +43,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Dict
@@ -51,7 +56,7 @@ from repro.scenarios import build_named_scenario
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline_ci.json"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Closed-loop workloads: (key, engine, scenario name, measured steps).
 WORKLOADS = (
@@ -155,6 +160,62 @@ def measure_engine_steps_per_second(
     return best
 
 
+#: Cells written/read/queried by the store-overhead workload.
+STORE_CELLS = 150
+
+
+def measure_store_ops_per_second(repeats: int, cells: int = STORE_CELLS) -> float:
+    """Best-of-``repeats`` ResultStore put+get+query operations/s.
+
+    Uses a real file-backed store (the sweep configuration) with a
+    synthetic but schema-complete payload, so the number reflects the
+    JSON encode + SQLite commit + decode cost a sweep cell actually
+    pays — not simulation time.
+    """
+    from repro.orchestration import RunSpec
+    from repro.results.store import ResultStore
+
+    summary = {
+        "duration": 600.0,
+        "vehicles_entered": 1000,
+        "vehicles_left": 950,
+        "average_queuing_time": 42.0,
+        "average_travel_time": 120.0,
+        "total_queuing_time": 42000.0,
+        "max_queuing_time": 300.0,
+        "throughput_per_hour": 5700.0,
+        "delay_mode": "per-vehicle",
+    }
+    payload = {
+        "scenario_name": "bench-store",
+        "controller_name": "util-bp",
+        "duration": 600.0,
+        "summary": summary,
+        "vehicles_in_network": 50,
+        "backlog": 0,
+    }
+    specs = [
+        RunSpec(pattern="I", seed=seed, duration=600.0)
+        for seed in range(cells)
+    ]
+    best = 0.0
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ResultStore(Path(tmp) / "bench.sqlite")
+            start = time.perf_counter()
+            for spec in specs:
+                store.put(spec, payload)
+            for spec in specs:
+                store.get(spec)
+            for seed in range(0, cells, 10):
+                store.query(pattern="I", seed=seed)
+            elapsed = time.perf_counter() - start
+            operations = 2 * cells + cells // 10
+            store.close()
+        best = max(best, operations / elapsed)
+    return best
+
+
 def run_benchmarks(repeats: int, min_speedup: float) -> Dict:
     calibration = calibration_score()
     results = {}
@@ -180,6 +241,15 @@ def run_benchmarks(repeats: int, min_speedup: float) -> Dict:
             f"  {key:<30} {rate:>10,.0f} steps/s   "
             f"(normalized {rate / calibration:.3f})"
         )
+    store_rate = measure_store_ops_per_second(repeats)
+    results["store/put-get-query"] = {
+        "steps_per_second": round(store_rate, 2),
+        "normalized": round(store_rate / calibration, 5),
+    }
+    print(
+        f"  {'store/put-get-query':<30} {store_rate:>10,.0f} ops/s     "
+        f"(normalized {store_rate / calibration:.3f})"
+    )
     speedups = []
     for fast_key, reference_key in SPEEDUP_GATES:
         ratio = (

@@ -8,12 +8,15 @@ Runs every table/figure driver and prints a consolidated report:
   the microscopic engine (the SUMO substitute);
 * all ablation studies.
 
-Every driver submits its sweep cells through one shared
-:class:`repro.orchestration.ExperimentPool`, so ``--workers N`` runs
-the independent cells N-wide and ``--cache-dir DIR`` lets an
-interrupted collection resume without re-simulating completed cells.
+Every driver is an :class:`repro.results.ExperimentDefinition` whose
+cells go through one shared :class:`repro.orchestration.ExperimentPool`
+— so ``--workers N`` runs the independent cells N-wide, and
+``--store FILE`` (or ``--cache-dir DIR``) backs the pool with one
+shared :class:`repro.results.ResultStore`: an interrupted collection
+resumes by computing only the missing cells, and cells common to
+several drivers are simulated exactly once.
 
-Usage: python scripts/collect_results.py [--workers N] [--cache-dir DIR]
+Usage: python scripts/collect_results.py [--workers N] [--store FILE]
 """
 
 import argparse
@@ -42,11 +45,23 @@ def main() -> None:
         help="worker processes for the sweep pool (1 = serial)",
     )
     parser.add_argument(
+        "--store", default=None, metavar="FILE",
+        help=(
+            "SQLite result store shared by every driver; completed "
+            "cells are never re-simulated (wins over --cache-dir)"
+        ),
+    )
+    parser.add_argument(
         "--cache-dir", default=None,
-        help="on-disk result cache; completed cells are not re-simulated",
+        help=(
+            "directory whose results.sqlite backs the collection; "
+            "legacy per-spec JSON entries there are imported once"
+        ),
     )
     args = parser.parse_args()
-    pool = ExperimentPool(workers=args.workers, cache_dir=args.cache_dir)
+    pool = ExperimentPool(
+        workers=args.workers, cache_dir=args.cache_dir, store=args.store
+    )
 
     start = time.time()
 

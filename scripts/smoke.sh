@@ -11,8 +11,11 @@
 # the tier-1 suite already ran in a separate CI step.
 #
 # The mini-sweep exercises the full orchestration path (spec expansion,
-# process-parallel execution, result cache) end to end: it runs the
-# same grid cold, then warm, and the warm pass must execute zero cells.
+# process-parallel execution, SQLite result store) end to end: it runs
+# the same grid cold, then warm, and the warm pass must execute zero
+# cells (true resume).  Set SMOKE_STORE_DIR to keep the store directory
+# after the run (CI uploads its results.sqlite as an artifact);
+# otherwise a temp directory is used and cleaned up.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -49,9 +52,14 @@ echo "== scenario catalog =="
 "$PYTHON" -m repro sweep --scenario surge-4x4 --duration 120
 
 echo
-echo "== 2-worker mini-sweep (cold, then warm from cache) =="
-CACHE_DIR="$(mktemp -d)"
-trap 'rm -rf "$CACHE_DIR"' EXIT
+echo "== 2-worker mini-sweep (cold, then warm from the result store) =="
+if [[ -n "${SMOKE_STORE_DIR:-}" ]]; then
+    CACHE_DIR="$SMOKE_STORE_DIR"
+    mkdir -p "$CACHE_DIR"
+else
+    CACHE_DIR="$(mktemp -d)"
+    trap 'rm -rf "$CACHE_DIR"' EXIT
+fi
 
 "$PYTHON" -m repro sweep \
     --patterns I II \
@@ -64,7 +72,16 @@ WARM=$("$PYTHON" -m repro sweep \
     --duration 300 --workers 2 --cache-dir "$CACHE_DIR")
 echo "$WARM"
 echo "$WARM" | grep -q "executed 0," \
-    || { echo "smoke FAILED: warm-cache sweep re-executed cells"; exit 1; }
+    || { echo "smoke FAILED: warm-store sweep re-executed cells"; exit 1; }
+
+STORE="$CACHE_DIR/results.sqlite"
+[[ -f "$STORE" ]] \
+    || { echo "smoke FAILED: sweep left no store at $STORE"; exit 1; }
+
+echo
+echo "== result store inspection =="
+"$PYTHON" -m repro results list --store "$STORE"
+"$PYTHON" -m repro results export --store "$STORE" --format csv | head -n 3
 
 echo
 echo "smoke OK"

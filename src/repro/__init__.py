@@ -17,8 +17,13 @@ The package is organized bottom-up:
 * :mod:`repro.traci` — TraCI-style control facade over the
   microscopic simulator.
 * :mod:`repro.metrics` — waiting times, queue/phase traces, summaries.
+* :mod:`repro.results` — the results subsystem: the SQLite-backed
+  :class:`~repro.results.store.ResultStore` (resumable sweeps), shared
+  group-by aggregation with delay-mode safety, and the declarative
+  :class:`~repro.results.experiment.ExperimentDefinition` registry.
 * :mod:`repro.experiments` — the 3x3 evaluation scenarios and the
-  drivers regenerating every table and figure of the paper.
+  drivers regenerating every table and figure of the paper, each one
+  an experiment definition.
 
 Quickstart
 ----------

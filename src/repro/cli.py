@@ -4,6 +4,7 @@ Commands
 --------
 run        one scenario under one controller, print the summary
 sweep      run a (workload x controller x seed) grid on the worker pool
+results    inspect a result store (list / show / export)
 scenarios  list/inspect the scenario catalog (repro.scenarios)
 table3     reproduce Table III
 fig2       reproduce Fig. 2 (period sweep)
@@ -13,8 +14,11 @@ ablations  run a named ablation study
 stability  demand-scale stability sweep
 
 Every sweep-shaped command accepts ``--workers N`` (process-parallel
-execution) and ``--cache-dir DIR`` (skip cells already completed by an
-earlier run).
+execution) and a persistence option: ``--store FILE`` names the SQLite
+result store directly, ``--cache-dir DIR`` opens ``DIR/results.sqlite``
+(importing any legacy per-spec JSON cache entries found there, once).
+With either, completed cells are committed incrementally and a
+re-invoked sweep resumes by computing only the missing cells.
 """
 
 from __future__ import annotations
@@ -36,15 +40,30 @@ def _add_pool_options(parser: argparse.ArgumentParser) -> None:
         help="worker processes (1 = serial in-process)",
     )
     parser.add_argument(
+        "--store", default=None, metavar="FILE",
+        help=(
+            "SQLite result store; completed cells are committed "
+            "incrementally and never re-simulated (wins over "
+            "--cache-dir)"
+        ),
+    )
+    parser.add_argument(
         "--cache-dir", default=None,
-        help="on-disk result cache; completed cells are not re-simulated",
+        help=(
+            "directory whose results.sqlite backs the sweep; legacy "
+            "per-spec JSON cache entries found there are imported once"
+        ),
     )
 
 
 def _make_pool(args: argparse.Namespace):
     from repro.orchestration import ExperimentPool
 
-    return ExperimentPool(workers=args.workers, cache_dir=args.cache_dir)
+    return ExperimentPool(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        store=getattr(args, "store", None),
+    )
 
 
 def _parse_pattern_token(token: str) -> str:
@@ -148,7 +167,51 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.add_argument("--duration", type=float, default=1800.0)
+    sweep.add_argument(
+        "--aggregate", nargs="?", const="pattern,controller,engine",
+        default=None, metavar="AXES",
+        help=(
+            "also print mean/std/ci95 across the cells of each group, "
+            "grouped by the comma-separated spec axes (default group: "
+            "pattern,controller,engine — i.e. aggregate across seeds)"
+        ),
+    )
     _add_pool_options(sweep)
+
+    results = sub.add_parser(
+        "results", help="inspect a result store (list/show/export)"
+    )
+    results_sub = results.add_subparsers(
+        dest="results_command", required=True
+    )
+
+    def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--store", default="results.sqlite", metavar="FILE",
+            help="the SQLite result store to read (default: results.sqlite)",
+        )
+
+    rlist = results_sub.add_parser(
+        "list", help="roll up the store per (pattern, controller, engine)"
+    )
+    _add_store_argument(rlist)
+    show = results_sub.add_parser(
+        "show", help="print one stored cell (spec + summary) by hash prefix"
+    )
+    show.add_argument("hash_prefix", help="spec-hash prefix (repro results list/export shows hashes)")
+    _add_store_argument(show)
+    export = results_sub.add_parser(
+        "export", help="dump tidy per-cell rows as CSV or JSON"
+    )
+    _add_store_argument(export)
+    export.add_argument(
+        "--format", choices=("csv", "json"), default="csv",
+        help="output format (default csv)",
+    )
+    export.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
 
     scenarios = sub.add_parser(
         "scenarios", help="inspect the scenario catalog"
@@ -258,10 +321,154 @@ def _run_sweep(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if args.aggregate is not None:
+        from repro.results import aggregate, tidy_table
+
+        axes = tuple(
+            axis.strip() for axis in args.aggregate.split(",") if axis.strip()
+        )
+        try:
+            agg_rows = aggregate(
+                zip(specs, results), by=axes, on_mixed_delay_mode="split"
+            )
+        except ValueError as error:
+            print(f"repro sweep: --aggregate: {error}", file=sys.stderr)
+            return 2
+        headers, body = tidy_table(agg_rows)
+        print()
+        print(
+            render_table(
+                headers, body,
+                title=f"Aggregated over {', '.join(axes)} (across the rest)",
+            )
+        )
     print(
         f"executed {pool.stats.executed}, "
         f"cache hits {pool.stats.cache_hits}, workers {pool.workers}"
     )
+    return 0
+
+
+def _open_store(path: str):
+    """Open an existing store for inspection, or None + message."""
+    from pathlib import Path
+
+    from repro.results import ResultStore
+
+    if not Path(path).exists():
+        print(
+            f"repro results: no store at {path!r} (run a sweep with "
+            f"--store/--cache-dir first, or pass --store)",
+            file=sys.stderr,
+        )
+        return None
+    return ResultStore(path)
+
+
+def _run_results(args: argparse.Namespace) -> int:
+    from repro.util.tables import render_table
+
+    store = _open_store(args.store)
+    if store is None:
+        return 2
+
+    if args.results_command == "list":
+        rows = [
+            (
+                entry["pattern"],
+                entry["controller"],
+                entry["engine"],
+                entry["cells"],
+                entry["seeds"],
+                entry["delay_mode"],
+                f"{entry['mean_avg_queuing_time']:.2f}"
+                if entry["mean_avg_queuing_time"] is not None
+                else "-",
+            )
+            for entry in store.overview()
+        ]
+        print(
+            render_table(
+                (
+                    "pattern",
+                    "controller",
+                    "engine",
+                    "cells",
+                    "seeds",
+                    "delay mode",
+                    "mean avg queuing [s]",
+                ),
+                rows,
+                title=f"Result store {args.store} — {len(store)} cells",
+            )
+        )
+        return 0
+
+    if args.results_command == "show":
+        import json as _json
+
+        matches = store.find(args.hash_prefix)
+        if not matches:
+            print(
+                f"repro results show: no cell with hash prefix "
+                f"{args.hash_prefix!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if len(matches) > 1:
+            print(
+                f"repro results show: prefix {args.hash_prefix!r} is "
+                f"ambiguous ({len(matches)} cells):",
+                file=sys.stderr,
+            )
+            for record in matches:
+                print(
+                    f"  {record.spec_hash[:16]}  {record.spec.label()}",
+                    file=sys.stderr,
+                )
+            return 2
+        record = matches[0]
+        print(f"cell {record.spec_hash}")
+        print(f"  label: {record.spec.label()}")
+        print("  spec:")
+        print(
+            "\n".join(
+                f"    {line}"
+                for line in _json.dumps(
+                    record.spec.to_dict(), indent=2
+                ).splitlines()
+            )
+        )
+        print(f"  summary: {record.summary}")
+        print(
+            f"  avg queuing {record.summary.average_queuing_time:.2f} s, "
+            f"delay mode {record.summary.delay_mode}"
+        )
+        return 0
+
+    assert args.results_command == "export"
+    rows = store.export_rows()
+    if args.format == "json":
+        import json as _json
+
+        text = _json.dumps(rows, indent=2) + "\n"
+    else:
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        if rows:
+            writer = csv.DictWriter(buffer, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+        text = buffer.getvalue()
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {len(rows)} rows to {args.output}")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -333,6 +540,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "sweep":
         return _run_sweep(args)
+
+    if args.command == "results":
+        return _run_results(args)
 
     if args.command == "scenarios":
         return _run_scenarios(args)

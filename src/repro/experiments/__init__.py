@@ -15,6 +15,14 @@ tables and figures.
 * :mod:`repro.experiments.ablations` — design-choice ablations.
 * :mod:`repro.experiments.stability` — demand-scale stability sweep
   (Sec. IV-Q1).
+
+Each table/figure driver is declared as an
+:class:`~repro.results.experiment.ExperimentDefinition` (a spec
+builder, an aggregation recipe, a renderer) registered under its name;
+``run_<driver>`` wrappers call
+:func:`repro.results.experiment.run_experiment`, so every driver
+executes through the shared pool + result store and gains resume and
+cross-driver cell sharing.
 """
 
 from repro.experiments.patterns import (

@@ -16,17 +16,35 @@ contribution:
 * ``controller-family`` — UTIL-BP vs CAP-BP vs original BP vs
   fixed-time under identical demand (the per-movement pressure and
   special cases are what separate UTIL-BP from original BP).
+
+All studies run through the single :data:`ABLATION_EXPERIMENT`
+:class:`~repro.results.experiment.ExperimentDefinition`, parameterized
+by study name (``mini-slot`` varies the runner's cadence rather than a
+controller parameter, which the definition's spec builder handles).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
+from repro.experiments.runner import RunResult
 from repro.orchestration import ExperimentPool, RunSpec
+from repro.results.experiment import (
+    ExperimentDefinition,
+    register_experiment,
+    run_experiment,
+)
 from repro.util.tables import render_table
 
-__all__ = ["AblationPoint", "run_ablation", "ABLATIONS", "render_ablation", "main"]
+__all__ = [
+    "AblationPoint",
+    "ABLATION_EXPERIMENT",
+    "run_ablation",
+    "ABLATIONS",
+    "render_ablation",
+    "main",
+]
 
 
 @dataclass(frozen=True)
@@ -39,57 +57,6 @@ class AblationPoint:
     params: Dict[str, Any]
     average_queuing_time: float
     amber_share: float
-
-
-def run_ablation(
-    study: str,
-    pattern: str = "I",
-    seed: int = 1,
-    duration: float = 1800.0,
-    engine: str = "meso",
-    pool: Optional[ExperimentPool] = None,
-) -> List[AblationPoint]:
-    """Run one named ablation study; see :data:`ABLATIONS` for names.
-
-    All configurations of the study are submitted to the pool as one
-    batch, so studies parallelize across workers.
-    """
-    if study == "mini-slot":
-        return run_mini_slot_ablation(
-            pattern=pattern, seed=seed, duration=duration, engine=engine,
-            pool=pool,
-        )
-    try:
-        configurations = ABLATIONS[study]
-    except KeyError:
-        raise ValueError(
-            f"unknown ablation {study!r}; known: {sorted(ABLATIONS)}"
-        )
-    pool = pool or ExperimentPool()
-    specs = [
-        RunSpec(
-            pattern=pattern,
-            controller=controller,
-            controller_params=dict(params),
-            engine=engine,
-            seed=seed,
-            duration=duration,
-        )
-        for _, controller, params in configurations
-    ]
-    return [
-        AblationPoint(
-            study=study,
-            label=label,
-            controller=controller,
-            params=dict(params),
-            average_queuing_time=result.average_queuing_time,
-            amber_share=result.network_utilization().amber_share,
-        )
-        for (label, controller, params), result in zip(
-            configurations, pool.run(specs)
-        )
-    ]
 
 
 #: study name -> list of (label, controller, params).
@@ -106,8 +73,9 @@ ABLATIONS: Dict[str, List] = {
         (f"margin {m:.0f}", "util-bp", {"keep_margin": float(m)})
         for m in (0, 2, 5, 10)
     ],
-    # "mini-slot" is dispatched to run_mini_slot_ablation (it varies the
-    # runner's cadence, not a controller parameter); listed for discovery.
+    # "mini-slot" varies the runner's cadence, not a controller
+    # parameter; the spec builder special-cases it.  Listed for
+    # discovery.
     "mini-slot": [],
     "controller-family": [
         ("UTIL-BP (proposed)", "util-bp", {}),
@@ -118,6 +86,137 @@ ABLATIONS: Dict[str, List] = {
 }
 
 
+def _configurations(study: str) -> List:
+    try:
+        return ABLATIONS[study]
+    except KeyError:
+        raise ValueError(
+            f"unknown ablation {study!r}; known: {sorted(ABLATIONS)}"
+        )
+
+
+def _build_specs(
+    study: str,
+    pattern: str,
+    seed: int,
+    duration: float,
+    engine: str,
+    mini_slots: Sequence[float],
+) -> List[RunSpec]:
+    if study == "mini-slot":
+        return [
+            RunSpec(
+                pattern=pattern,
+                controller="util-bp",
+                engine=engine,
+                seed=seed,
+                duration=duration,
+                mini_slot=float(m),
+            )
+            for m in mini_slots
+        ]
+    return [
+        RunSpec(
+            pattern=pattern,
+            controller=controller,
+            controller_params=dict(params),
+            engine=engine,
+            seed=seed,
+            duration=duration,
+        )
+        for _, controller, params in _configurations(study)
+    ]
+
+
+def _point(
+    study: str,
+    label: str,
+    controller: str,
+    params: Dict[str, Any],
+    result: RunResult,
+) -> AblationPoint:
+    return AblationPoint(
+        study=study,
+        label=label,
+        controller=controller,
+        params=params,
+        average_queuing_time=result.average_queuing_time,
+        amber_share=result.network_utilization().amber_share,
+    )
+
+
+def _collect(
+    specs: Sequence[RunSpec],
+    results: Sequence[RunResult],
+    params: Mapping[str, Any],
+) -> List[AblationPoint]:
+    study = params["study"]
+    if study == "mini-slot":
+        return [
+            _point(
+                study,
+                f"mini-slot {m:.0f}s",
+                "util-bp",
+                {"mini_slot": float(m)},
+                result,
+            )
+            for m, result in zip(params["mini_slots"], results)
+        ]
+    return [
+        _point(study, label, controller, dict(config_params), result)
+        for (label, controller, config_params), result in zip(
+            _configurations(study), results
+        )
+    ]
+
+
+ABLATION_EXPERIMENT = register_experiment(
+    ExperimentDefinition(
+        name="ablations",
+        description=(
+            "design-choice ablation studies (transition duration, "
+            "alpha/beta order, keep margin, mini-slot cadence, "
+            "controller family)"
+        ),
+        build_specs=_build_specs,
+        collect=_collect,
+        render=lambda points: render_ablation(points),
+        defaults=dict(
+            study="controller-family",
+            pattern="I",
+            seed=1,
+            duration=1800.0,
+            engine="meso",
+            mini_slots=(1.0, 2.0, 5.0),
+        ),
+    )
+)
+
+
+def run_ablation(
+    study: str,
+    pattern: str = "I",
+    seed: int = 1,
+    duration: float = 1800.0,
+    engine: str = "meso",
+    pool: Optional[ExperimentPool] = None,
+) -> List[AblationPoint]:
+    """Run one named ablation study; see :data:`ABLATIONS` for names.
+
+    All configurations of the study are submitted to the pool as one
+    batch, so studies parallelize across workers.
+    """
+    return run_experiment(
+        ABLATION_EXPERIMENT,
+        pool=pool,
+        study=study,
+        pattern=pattern,
+        seed=seed,
+        duration=duration,
+        engine=engine,
+    )
+
+
 def run_mini_slot_ablation(
     pattern: str = "I",
     seed: int = 1,
@@ -126,30 +225,17 @@ def run_mini_slot_ablation(
     mini_slots: Sequence[float] = (1.0, 2.0, 5.0),
     pool: Optional[ExperimentPool] = None,
 ) -> List[AblationPoint]:
-    """The mini-slot study varies the runner's cadence, handled here."""
-    pool = pool or ExperimentPool()
-    specs = [
-        RunSpec(
-            pattern=pattern,
-            controller="util-bp",
-            engine=engine,
-            seed=seed,
-            duration=duration,
-            mini_slot=float(m),
-        )
-        for m in mini_slots
-    ]
-    return [
-        AblationPoint(
-            study="mini-slot",
-            label=f"mini-slot {m:.0f}s",
-            controller="util-bp",
-            params={"mini_slot": float(m)},
-            average_queuing_time=result.average_queuing_time,
-            amber_share=result.network_utilization().amber_share,
-        )
-        for m, result in zip(mini_slots, pool.run(specs))
-    ]
+    """The mini-slot study with an explicit cadence grid."""
+    return run_experiment(
+        ABLATION_EXPERIMENT,
+        pool=pool,
+        study="mini-slot",
+        pattern=pattern,
+        seed=seed,
+        duration=duration,
+        engine=engine,
+        mini_slots=tuple(float(m) for m in mini_slots),
+    )
 
 
 def render_ablation(points: Sequence[AblationPoint]) -> str:

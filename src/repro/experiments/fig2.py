@@ -5,17 +5,28 @@ average queuing time of CAP-BP as a function of the (globally set)
 control phase period from 10 s to 80 s, with the UTIL-BP result as the
 flat reference the sweep never beats.  This driver regenerates that
 series and renders it as an ASCII chart.
+
+The driver is an :class:`~repro.results.experiment.ExperimentDefinition`
+(:data:`FIG2`): the period grid expands to specs, the pool executes
+them (parallel/store-backed when asked), and the collector folds the
+results into :class:`Fig2Result`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
+from repro.experiments.runner import RunResult
 from repro.orchestration import ExperimentPool, RunSpec
+from repro.results.experiment import (
+    ExperimentDefinition,
+    register_experiment,
+    run_experiment,
+)
 from repro.util.series import TimeSeries, render_series
 
-__all__ = ["Fig2Result", "run_fig2", "render_fig2", "main"]
+__all__ = ["Fig2Result", "FIG2", "run_fig2", "render_fig2", "main"]
 
 #: The paper's sweep grid (Fig. 2 x-axis).
 PAPER_PERIODS: Tuple[float, ...] = (10, 20, 30, 40, 50, 60, 70, 80)
@@ -49,66 +60,6 @@ class Fig2Result:
         return self.util_bp_queuing_time < self.best_queuing_time
 
 
-def run_fig2(
-    periods: Sequence[float] = PAPER_PERIODS,
-    engine: str = "micro",
-    seed: int = 1,
-    segment_duration: float = 3600.0,
-    pool: Optional[ExperimentPool] = None,
-) -> Fig2Result:
-    """Regenerate Fig. 2.
-
-    Parameters
-    ----------
-    periods:
-        CAP-BP control periods to sweep.
-    engine / seed:
-        As elsewhere.
-    segment_duration:
-        Mixed-pattern segment length (paper: 3600 s -> 4 h total).
-        Benchmarks shrink it.
-    pool:
-        Orchestration pool to execute the sweep on; defaults to a
-        serial in-process pool.
-    """
-    if not periods:
-        raise ValueError("need at least one period to sweep")
-    pool = pool or ExperimentPool()
-    duration = 4 * segment_duration
-    scenario_params = {"mixed_segment_duration": segment_duration}
-
-    specs = [
-        RunSpec(
-            pattern="mixed",
-            controller="cap-bp",
-            controller_params={"period": float(period)},
-            engine=engine,
-            seed=seed,
-            duration=duration,
-            scenario_params=scenario_params,
-        )
-        for period in periods
-    ]
-    specs.append(
-        RunSpec(
-            pattern="mixed",
-            controller="util-bp",
-            engine=engine,
-            seed=seed,
-            duration=duration,
-            scenario_params=scenario_params,
-        )
-    )
-    results = pool.run(specs)
-    return Fig2Result(
-        periods=tuple(float(p) for p in periods),
-        cap_bp_queuing_times=tuple(
-            result.average_queuing_time for result in results[:-1]
-        ),
-        util_bp_queuing_time=results[-1].average_queuing_time,
-    )
-
-
 def render_fig2(result: Fig2Result) -> str:
     """ASCII chart in the shape of the paper's Fig. 2."""
     cap = TimeSeries("CAP-BP (capacity-aware)")
@@ -132,6 +83,107 @@ def render_fig2(result: Fig2Result) -> str:
         f"({'beats' if result.util_beats_best else 'does not beat'} the sweep)",
     ]
     return "\n".join(lines)
+
+
+def _build_specs(
+    periods: Sequence[float],
+    engine: str,
+    seed: int,
+    segment_duration: float,
+) -> List[RunSpec]:
+    if not periods:
+        raise ValueError("need at least one period to sweep")
+    duration = 4 * segment_duration
+    scenario_params = {"mixed_segment_duration": segment_duration}
+    specs = [
+        RunSpec(
+            pattern="mixed",
+            controller="cap-bp",
+            controller_params={"period": float(period)},
+            engine=engine,
+            seed=seed,
+            duration=duration,
+            scenario_params=scenario_params,
+        )
+        for period in periods
+    ]
+    specs.append(
+        RunSpec(
+            pattern="mixed",
+            controller="util-bp",
+            engine=engine,
+            seed=seed,
+            duration=duration,
+            scenario_params=scenario_params,
+        )
+    )
+    return specs
+
+
+def _collect(
+    specs: Sequence[RunSpec],
+    results: Sequence[RunResult],
+    params: Mapping[str, Any],
+) -> Fig2Result:
+    return Fig2Result(
+        periods=tuple(float(p) for p in params["periods"]),
+        cap_bp_queuing_times=tuple(
+            result.average_queuing_time for result in results[:-1]
+        ),
+        util_bp_queuing_time=results[-1].average_queuing_time,
+    )
+
+
+FIG2 = register_experiment(
+    ExperimentDefinition(
+        name="fig2",
+        description=(
+            "Fig. 2 — avg queuing time vs CAP-BP control period, mixed "
+            "pattern, with the UTIL-BP reference level"
+        ),
+        build_specs=_build_specs,
+        collect=_collect,
+        render=render_fig2,
+        defaults=dict(
+            periods=PAPER_PERIODS,
+            engine="micro",
+            seed=1,
+            segment_duration=3600.0,
+        ),
+    )
+)
+
+
+def run_fig2(
+    periods: Sequence[float] = PAPER_PERIODS,
+    engine: str = "micro",
+    seed: int = 1,
+    segment_duration: float = 3600.0,
+    pool: Optional[ExperimentPool] = None,
+) -> Fig2Result:
+    """Regenerate Fig. 2.
+
+    Parameters
+    ----------
+    periods:
+        CAP-BP control periods to sweep.
+    engine / seed:
+        As elsewhere.
+    segment_duration:
+        Mixed-pattern segment length (paper: 3600 s -> 4 h total).
+        Benchmarks shrink it.
+    pool:
+        Orchestration pool to execute the sweep on; defaults to a
+        serial in-process pool.
+    """
+    return run_experiment(
+        FIG2,
+        pool=pool,
+        periods=tuple(periods),
+        engine=engine,
+        seed=seed,
+        segment_duration=segment_duration,
+    )
 
 
 def main() -> None:

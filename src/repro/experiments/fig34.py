@@ -8,20 +8,36 @@ the heavy north/south traffic goes mostly straight or turns).
 
 This driver records both traces and derives the statistics that make
 the comparison quantitative: mean control-phase length, switch count
-and per-phase green share.
+and per-phase green share.  It is declared as the :data:`FIG34`
+:class:`~repro.results.experiment.ExperimentDefinition`; its two cells
+are shared (via a common pool/store) with any other driver requesting
+the same runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
+from repro.experiments.runner import RunResult
 from repro.metrics.traces import PhaseTrace
 from repro.orchestration import ExperimentPool, RunSpec
+from repro.results.experiment import (
+    ExperimentDefinition,
+    register_experiment,
+    run_experiment,
+)
 from repro.util.series import render_series
 from repro.util.tables import render_table
 
-__all__ = ["Fig34Result", "TOP_RIGHT_NODE", "run_fig34", "render_fig34", "main"]
+__all__ = [
+    "Fig34Result",
+    "FIG34",
+    "TOP_RIGHT_NODE",
+    "run_fig34",
+    "render_fig34",
+    "main",
+]
 
 #: The north-eastern (top-right) intersection of the 3x3 grid.
 TOP_RIGHT_NODE = "J02"
@@ -58,50 +74,6 @@ class Fig34Result:
                 row[f"share_c{phase}"] = durations.get(phase, 0.0) / total
             out[name] = row
         return out
-
-
-def run_fig34(
-    engine: str = "micro",
-    seed: int = 1,
-    duration: float = PAPER_HORIZON,
-    cap_bp_period: float = 18.0,
-    node_id: str = TOP_RIGHT_NODE,
-    pool: Optional[ExperimentPool] = None,
-) -> Fig34Result:
-    """Regenerate the data behind Figs. 3 and 4.
-
-    ``cap_bp_period`` defaults to the paper's optimal period for
-    Pattern I (18 s, Table III).  Both controller runs are submitted to
-    the pool as one batch.
-    """
-    pool = pool or ExperimentPool()
-    cap, util = pool.run(
-        [
-            RunSpec(
-                pattern="I",
-                controller="cap-bp",
-                controller_params={"period": cap_bp_period},
-                engine=engine,
-                seed=seed,
-                duration=duration,
-                record_phases=(node_id,),
-            ),
-            RunSpec(
-                pattern="I",
-                controller="util-bp",
-                engine=engine,
-                seed=seed,
-                duration=duration,
-                record_phases=(node_id,),
-            ),
-        ]
-    )
-    return Fig34Result(
-        cap_bp_trace=cap.phase_traces[node_id],
-        util_bp_trace=util.phase_traces[node_id],
-        duration=duration,
-        cap_bp_period=cap_bp_period,
-    )
 
 
 def render_fig34(result: Fig34Result) -> str:
@@ -149,6 +121,95 @@ def render_fig34(result: Fig34Result) -> str:
         title="Phase statistics (shares of total time)",
     )
     return "\n\n".join([fig3, fig4, table])
+
+
+def _build_specs(
+    engine: str,
+    seed: int,
+    duration: float,
+    cap_bp_period: float,
+    node_id: str,
+) -> List[RunSpec]:
+    return [
+        RunSpec(
+            pattern="I",
+            controller="cap-bp",
+            controller_params={"period": cap_bp_period},
+            engine=engine,
+            seed=seed,
+            duration=duration,
+            record_phases=(node_id,),
+        ),
+        RunSpec(
+            pattern="I",
+            controller="util-bp",
+            engine=engine,
+            seed=seed,
+            duration=duration,
+            record_phases=(node_id,),
+        ),
+    ]
+
+
+def _collect(
+    specs: Sequence[RunSpec],
+    results: Sequence[RunResult],
+    params: Mapping[str, Any],
+) -> Fig34Result:
+    cap, util = results
+    node_id = params["node_id"]
+    return Fig34Result(
+        cap_bp_trace=cap.phase_traces[node_id],
+        util_bp_trace=util.phase_traces[node_id],
+        duration=params["duration"],
+        cap_bp_period=params["cap_bp_period"],
+    )
+
+
+FIG34 = register_experiment(
+    ExperimentDefinition(
+        name="fig34",
+        description=(
+            "Figs. 3-4 — applied-phase traces at the top-right "
+            "intersection, CAP-BP vs UTIL-BP, Pattern I"
+        ),
+        build_specs=_build_specs,
+        collect=_collect,
+        render=render_fig34,
+        defaults=dict(
+            engine="micro",
+            seed=1,
+            duration=PAPER_HORIZON,
+            cap_bp_period=18.0,
+            node_id=TOP_RIGHT_NODE,
+        ),
+    )
+)
+
+
+def run_fig34(
+    engine: str = "micro",
+    seed: int = 1,
+    duration: float = PAPER_HORIZON,
+    cap_bp_period: float = 18.0,
+    node_id: str = TOP_RIGHT_NODE,
+    pool: Optional[ExperimentPool] = None,
+) -> Fig34Result:
+    """Regenerate the data behind Figs. 3 and 4.
+
+    ``cap_bp_period`` defaults to the paper's optimal period for
+    Pattern I (18 s, Table III).  Both controller runs are submitted to
+    the pool as one batch.
+    """
+    return run_experiment(
+        FIG34,
+        pool=pool,
+        engine=engine,
+        seed=seed,
+        duration=duration,
+        cap_bp_period=cap_bp_period,
+        node_id=node_id,
+    )
 
 
 def main() -> None:

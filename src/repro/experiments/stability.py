@@ -12,18 +12,34 @@ A configuration counts as *stable* here when, at the end of the run,
 and (ii) the in-network vehicle count stays well below the network's
 storage capacity — i.e. queues did not grow towards the capacity
 bound for the whole horizon.
+
+Declared as the :data:`STABILITY`
+:class:`~repro.results.experiment.ExperimentDefinition` over the
+(controller x demand scale) grid.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, List, Mapping, Optional, Sequence
 
+from repro.experiments.runner import RunResult
 from repro.experiments.scenario import build_scenario
 from repro.orchestration import ExperimentPool, RunSpec
+from repro.results.experiment import (
+    ExperimentDefinition,
+    register_experiment,
+    run_experiment,
+)
 from repro.util.tables import render_table
 
-__all__ = ["StabilityPoint", "run_stability_sweep", "render_stability", "main"]
+__all__ = [
+    "StabilityPoint",
+    "STABILITY",
+    "run_stability_sweep",
+    "render_stability",
+    "main",
+]
 
 
 @dataclass(frozen=True)
@@ -46,6 +62,88 @@ class StabilityPoint:
         )
 
 
+def _cells(controllers: Sequence, scales: Sequence[float]) -> List:
+    return [
+        (name, params, scale)
+        for name, params in controllers
+        for scale in scales
+    ]
+
+
+def _build_specs(
+    scales: Sequence[float],
+    controllers: Sequence,
+    pattern: str,
+    seed: int,
+    duration: float,
+    engine: str,
+) -> List[RunSpec]:
+    if not scales:
+        raise ValueError("need at least one demand scale")
+    return [
+        RunSpec(
+            pattern=pattern,
+            controller=name,
+            controller_params=params or {},
+            engine=engine,
+            seed=seed,
+            duration=duration,
+            scenario_params={"demand_scale": float(scale)},
+        )
+        for name, params, scale in _cells(controllers, scales)
+    ]
+
+
+def _collect(
+    specs: Sequence[RunSpec],
+    results: Sequence[RunResult],
+    params: Mapping[str, Any],
+) -> List[StabilityPoint]:
+    # Demand scaling leaves the road network itself untouched, so the
+    # storage capacity is the same for every cell.
+    capacity = build_scenario(
+        params["pattern"], seed=params["seed"]
+    ).network.total_capacity()
+    return [
+        StabilityPoint(
+            controller=name,
+            demand_scale=scale,
+            average_queuing_time=result.average_queuing_time,
+            vehicles_in_network=result.vehicles_in_network,
+            backlog=result.backlog,
+            network_capacity=capacity,
+        )
+        for (name, _, scale), result in zip(
+            _cells(params["controllers"], params["scales"]), results
+        )
+    ]
+
+
+STABILITY = register_experiment(
+    ExperimentDefinition(
+        name="stability",
+        description=(
+            "demand-scale stability sweep (Sec. IV-Q1): queue "
+            "boundedness per controller as arrival rates scale up"
+        ),
+        build_specs=_build_specs,
+        collect=_collect,
+        render=lambda points: render_stability(points),
+        defaults=dict(
+            scales=(0.6, 0.8, 1.0, 1.2, 1.4),
+            controllers=(
+                ("util-bp", None),
+                ("cap-bp", {"period": 18.0}),
+            ),
+            pattern="II",
+            seed=1,
+            duration=1800.0,
+            engine="meso",
+        ),
+    )
+)
+
+
 def run_stability_sweep(
     scales: Sequence[float] = (0.6, 0.8, 1.0, 1.2, 1.4),
     controllers: Sequence = (
@@ -63,40 +161,15 @@ def run_stability_sweep(
     batch; terminal occupancy comes from the runner's
     ``vehicles_in_network`` / ``backlog`` result fields.
     """
-    if not scales:
-        raise ValueError("need at least one demand scale")
-    pool = pool or ExperimentPool()
-    # Demand scaling leaves the road network itself untouched, so the
-    # storage capacity is the same for every cell.
-    capacity = build_scenario(pattern, seed=seed).network.total_capacity()
-    cells = [
-        (name, params, scale)
-        for name, params in controllers
-        for scale in scales
-    ]
-    specs = [
-        RunSpec(
-            pattern=pattern,
-            controller=name,
-            controller_params=params or {},
-            engine="meso",
-            seed=seed,
-            duration=duration,
-            scenario_params={"demand_scale": float(scale)},
-        )
-        for name, params, scale in cells
-    ]
-    return [
-        StabilityPoint(
-            controller=name,
-            demand_scale=scale,
-            average_queuing_time=result.average_queuing_time,
-            vehicles_in_network=result.vehicles_in_network,
-            backlog=result.backlog,
-            network_capacity=capacity,
-        )
-        for (name, _, scale), result in zip(cells, pool.run(specs))
-    ]
+    return run_experiment(
+        STABILITY,
+        pool=pool,
+        scales=tuple(scales),
+        controllers=tuple(controllers),
+        pattern=pattern,
+        seed=seed,
+        duration=duration,
+    )
 
 
 def max_stable_scale(points: Sequence[StabilityPoint], controller: str) -> float:

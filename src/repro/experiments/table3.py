@@ -5,18 +5,38 @@ UTIL-BP and of CAP-BP at its *best* control period (found by sweeping,
 Fig. 2 style).  This driver reruns that protocol end to end: for each
 pattern it sweeps the CAP-BP period, takes the best, runs UTIL-BP once
 and reports both with the paper's reference numbers alongside.
+
+Declared as the :data:`TABLE3`
+:class:`~repro.results.experiment.ExperimentDefinition`: the whole
+(pattern x period) grid plus the UTIL-BP references goes to the pool
+as one batch, and the best-period fold is the definition's collector.
+Cells shared with Fig. 2 (mixed-pattern CAP-BP sweeps) are computed
+once when both drivers run against the same store.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.experiments.runner import RunResult
 from repro.experiments.scenario import DEFAULT_DURATIONS
 from repro.orchestration import ExperimentPool, RunSpec
+from repro.results.experiment import (
+    ExperimentDefinition,
+    register_experiment,
+    run_experiment,
+)
 from repro.util.tables import render_table
 
-__all__ = ["Table3Row", "PAPER_TABLE3", "run_table3", "render_table3", "main"]
+__all__ = [
+    "Table3Row",
+    "TABLE3",
+    "PAPER_TABLE3",
+    "run_table3",
+    "render_table3",
+    "main",
+]
 
 #: The paper's Table III: pattern -> (CAP-BP best period [s],
 #: CAP-BP avg queuing time [s], UTIL-BP avg queuing time [s]).
@@ -51,95 +71,6 @@ class Table3Row:
             / self.cap_bp_queuing_time
             * 100.0
         )
-
-
-def run_table3(
-    patterns: Sequence[str] = ("I", "II", "III", "IV", "mixed"),
-    engine: str = "micro",
-    seed: int = 1,
-    periods: Sequence[float] = DEFAULT_PERIODS,
-    duration_scale: float = 1.0,
-    mixed_segment_duration: Optional[float] = None,
-    pool: Optional[ExperimentPool] = None,
-) -> List[Table3Row]:
-    """Reproduce Table III.
-
-    Parameters
-    ----------
-    patterns:
-        Which Table II patterns to include.
-    engine:
-        ``"micro"`` (paper-faithful) or ``"meso"`` (fast).
-    seed:
-        Scenario seed; both controllers see identical demand.
-    periods:
-        CAP-BP period grid to sweep.
-    duration_scale:
-        Multiplier on the paper's horizons (1 h per pattern, 4 h
-        mixed).  Benchmarks use < 1 to stay CI-friendly.
-    mixed_segment_duration:
-        Override for the mixed pattern's per-segment length; defaults
-        to ``3600 * duration_scale``.
-    pool:
-        Orchestration pool; every (pattern x period) cell plus the
-        UTIL-BP reference runs are submitted as one batch, so the whole
-        table parallelizes.  Defaults to a serial in-process pool.
-    """
-    if not periods:
-        raise ValueError("need at least one period to sweep")
-    if duration_scale <= 0:
-        raise ValueError(f"duration_scale must be > 0, got {duration_scale}")
-    pool = pool or ExperimentPool()
-    segment = (
-        mixed_segment_duration
-        if mixed_segment_duration is not None
-        else 3600.0 * duration_scale
-    )
-
-    specs: List[RunSpec] = []
-    for pattern in patterns:
-        duration = DEFAULT_DURATIONS[pattern] * duration_scale
-        scenario_params = {"mixed_segment_duration": segment}
-        for period in periods:
-            specs.append(
-                RunSpec(
-                    pattern=pattern,
-                    controller="cap-bp",
-                    controller_params={"period": float(period)},
-                    engine=engine,
-                    seed=seed,
-                    duration=duration,
-                    scenario_params=scenario_params,
-                )
-            )
-        specs.append(
-            RunSpec(
-                pattern=pattern,
-                controller="util-bp",
-                engine=engine,
-                seed=seed,
-                duration=duration,
-                scenario_params=scenario_params,
-            )
-        )
-
-    results = iter(pool.run(specs))
-    rows: List[Table3Row] = []
-    for pattern in patterns:
-        by_period = [(period, next(results)) for period in periods]
-        util = next(results)
-        best_period, best = min(
-            by_period, key=lambda item: item[1].average_queuing_time
-        )
-        rows.append(
-            Table3Row(
-                pattern=pattern,
-                cap_bp_best_period=float(best_period),
-                cap_bp_queuing_time=best.average_queuing_time,
-                util_bp_queuing_time=util.average_queuing_time,
-            )
-        )
-    return rows
 
 
 def render_table3(rows: Sequence[Table3Row]) -> str:
@@ -177,6 +108,143 @@ def render_table3(rows: Sequence[Table3Row]) -> str:
         ),
         body,
         title="Table III — average queuing time, CAP-BP (best period) vs UTIL-BP",
+    )
+
+
+def _build_specs(
+    patterns: Sequence[str],
+    engine: str,
+    seed: int,
+    periods: Sequence[float],
+    duration_scale: float,
+    mixed_segment_duration: Optional[float],
+) -> List[RunSpec]:
+    if not periods:
+        raise ValueError("need at least one period to sweep")
+    if duration_scale <= 0:
+        raise ValueError(f"duration_scale must be > 0, got {duration_scale}")
+    segment = (
+        mixed_segment_duration
+        if mixed_segment_duration is not None
+        else 3600.0 * duration_scale
+    )
+    specs: List[RunSpec] = []
+    for pattern in patterns:
+        duration = DEFAULT_DURATIONS[pattern] * duration_scale
+        scenario_params = {"mixed_segment_duration": segment}
+        for period in periods:
+            specs.append(
+                RunSpec(
+                    pattern=pattern,
+                    controller="cap-bp",
+                    controller_params={"period": float(period)},
+                    engine=engine,
+                    seed=seed,
+                    duration=duration,
+                    scenario_params=scenario_params,
+                )
+            )
+        specs.append(
+            RunSpec(
+                pattern=pattern,
+                controller="util-bp",
+                engine=engine,
+                seed=seed,
+                duration=duration,
+                scenario_params=scenario_params,
+            )
+        )
+    return specs
+
+
+def _collect(
+    specs: Sequence[RunSpec],
+    results: Sequence[RunResult],
+    params: Mapping[str, Any],
+) -> List[Table3Row]:
+    patterns, periods = params["patterns"], params["periods"]
+    stream = iter(results)
+    rows: List[Table3Row] = []
+    for pattern in patterns:
+        by_period = [(period, next(stream)) for period in periods]
+        util = next(stream)
+        best_period, best = min(
+            by_period, key=lambda item: item[1].average_queuing_time
+        )
+        rows.append(
+            Table3Row(
+                pattern=pattern,
+                cap_bp_best_period=float(best_period),
+                cap_bp_queuing_time=best.average_queuing_time,
+                util_bp_queuing_time=util.average_queuing_time,
+            )
+        )
+    return rows
+
+
+TABLE3 = register_experiment(
+    ExperimentDefinition(
+        name="table3",
+        description=(
+            "Table III — per-pattern CAP-BP best-period sweep vs the "
+            "UTIL-BP reference"
+        ),
+        build_specs=_build_specs,
+        collect=_collect,
+        render=render_table3,
+        defaults=dict(
+            patterns=("I", "II", "III", "IV", "mixed"),
+            engine="micro",
+            seed=1,
+            periods=DEFAULT_PERIODS,
+            duration_scale=1.0,
+            mixed_segment_duration=None,
+        ),
+    )
+)
+
+
+def run_table3(
+    patterns: Sequence[str] = ("I", "II", "III", "IV", "mixed"),
+    engine: str = "micro",
+    seed: int = 1,
+    periods: Sequence[float] = DEFAULT_PERIODS,
+    duration_scale: float = 1.0,
+    mixed_segment_duration: Optional[float] = None,
+    pool: Optional[ExperimentPool] = None,
+) -> List[Table3Row]:
+    """Reproduce Table III.
+
+    Parameters
+    ----------
+    patterns:
+        Which Table II patterns to include.
+    engine:
+        ``"micro"`` (paper-faithful) or ``"meso"`` (fast).
+    seed:
+        Scenario seed; both controllers see identical demand.
+    periods:
+        CAP-BP period grid to sweep.
+    duration_scale:
+        Multiplier on the paper's horizons (1 h per pattern, 4 h
+        mixed).  Benchmarks use < 1 to stay CI-friendly.
+    mixed_segment_duration:
+        Override for the mixed pattern's per-segment length; defaults
+        to ``3600 * duration_scale``.
+    pool:
+        Orchestration pool; every (pattern x period) cell plus the
+        UTIL-BP reference runs are submitted as one batch, so the whole
+        table parallelizes.  Defaults to a serial in-process pool.
+    """
+    return run_experiment(
+        TABLE3,
+        pool=pool,
+        patterns=tuple(patterns),
+        engine=engine,
+        seed=seed,
+        periods=tuple(periods),
+        duration_scale=duration_scale,
+        mixed_segment_duration=mixed_segment_duration,
     )
 
 

@@ -6,12 +6,15 @@ The layer between the closed-loop runner and the experiment drivers:
   serializable simulation cell) and :class:`SweepGrid` (cartesian
   expansion of sweep axes);
 * :mod:`repro.orchestration.pool` — :class:`ExperimentPool`, the
-  process-parallel executor with a serial in-process fallback and an
-  on-disk JSON result cache keyed by spec hash.
+  process-parallel executor; give it a
+  :class:`~repro.results.store.ResultStore` (or ``cache_dir``) and
+  every completed cell is committed incrementally, making sweeps
+  resumable and shareable across drivers.
 
-Every table/figure driver and ``scripts/collect_results.py`` submit
-their sweeps through this layer; ``repro sweep --workers N`` exposes it
-on the command line.
+Every table/figure driver runs through
+:func:`repro.results.experiment.run_experiment` on this layer, and
+``repro sweep --workers N --store FILE`` exposes it on the command
+line.
 """
 
 from repro.orchestration.pool import ExperimentPool, PoolStats

@@ -1,6 +1,6 @@
-"""The process-parallel sweep executor with an on-disk result cache.
+"""The process-parallel sweep executor backed by the result store.
 
-Every (pattern x controller x period x seed) cell of a sweep is an
+Every (scenario x controller x engine x seed) cell of a sweep is an
 independent simulation whose outcome is fully determined by its
 :class:`~repro.orchestration.spec.RunSpec` — the spec carries the seed,
 so results cannot depend on which worker runs a cell or in what order.
@@ -10,28 +10,34 @@ so results cannot depend on which worker runs a cell or in what order.
   :class:`~concurrent.futures.ProcessPoolExecutor`;
 * ``workers == 1`` runs them serially in-process (no executor, no
   pickling overhead — the debugging-friendly path);
-* with a ``cache_dir``, every finished cell is persisted as JSON keyed
-  by the spec's content hash, and re-submitting a completed spec loads
-  the stored result instead of simulating again.
+* with a :class:`~repro.results.store.ResultStore`, every finished
+  cell is committed to the store the moment it completes, and
+  re-submitting a completed spec loads the stored result instead of
+  simulating again — which is what makes any sweep *resumable*: kill
+  it mid-flight, re-run it against the same store, and only the
+  missing cells execute.
 
-Results travel between processes (and to/from disk) as the plain-dict
-form produced by ``RunResult.to_dict``; both execution paths
+``store`` accepts a live :class:`ResultStore` or a path to its SQLite
+file; ``cache_dir`` (the older directory-shaped option, kept on every
+CLI command) opens ``<dir>/results.sqlite`` and imports any legacy
+per-spec JSON cache entries found in the directory exactly once.
+
+Results travel between processes (and to/from the store) as the plain
+dict form produced by ``RunResult.to_dict``; both execution paths
 reconstruct through ``RunResult.from_dict`` so serial and parallel runs
 return identical objects.
 """
 
 from __future__ import annotations
 
-import json
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.engine import provider_module
 from repro.experiments.runner import RunResult
-from repro.orchestration.spec import SPEC_SCHEMA_VERSION, RunSpec
+from repro.orchestration.spec import RunSpec
 
 __all__ = ["ExperimentPool", "PoolStats"]
 
@@ -59,7 +65,7 @@ class PoolStats:
 
     Both counters are per *unique* spec: duplicate occurrences of one
     spec within a batch are satisfied by a single execution or a
-    single cache read.
+    single store read.
     """
 
     executed: int = 0
@@ -67,7 +73,7 @@ class PoolStats:
 
     @property
     def total(self) -> int:
-        """Unique cells satisfied so far (executed + served from cache)."""
+        """Unique cells satisfied so far (executed + served from store)."""
         return self.executed + self.cache_hits
 
 
@@ -80,21 +86,36 @@ class ExperimentPool:
         Worker processes; ``1`` (default) runs everything serially
         in-process.
     cache_dir:
-        Directory for the JSON result cache; ``None`` disables caching.
-        The directory is created on first write.  Entries are keyed by
-        the spec content hash (schema-versioned), so a warm cache makes
-        re-running a completed sweep free.
+        Directory-shaped persistence option: opens (creating if
+        needed) ``<cache_dir>/results.sqlite`` as the pool's store and
+        imports any legacy per-spec JSON cache entries found in the
+        directory, once.  Ignored when ``store`` is given.
+    store:
+        A :class:`~repro.results.store.ResultStore`, or a path to its
+        SQLite file; ``None`` (with no ``cache_dir``) disables
+        persistence.  Completed cells are committed incrementally, so
+        a warm store makes re-running a completed sweep free and an
+        interrupted sweep resumable.
     """
 
     def __init__(
         self,
         workers: int = 1,
         cache_dir: Optional[Union[str, os.PathLike]] = None,
+        store: Optional[Any] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
-        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if store is None and cache_dir is not None:
+            from repro.results.store import ResultStore
+
+            store = ResultStore.at_directory(cache_dir)
+        elif store is not None and not hasattr(store, "get"):
+            from repro.results.store import ResultStore
+
+            store = ResultStore(store)
+        self.store = store
         self.stats = PoolStats()
 
     # -- public API ---------------------------------------------------------
@@ -102,21 +123,21 @@ class ExperimentPool:
     def run(self, specs: Iterable[RunSpec]) -> List[RunResult]:
         """Execute a batch of specs; results match the input order.
 
-        Cache hits are returned without simulating; duplicate specs in
+        Store hits are returned without simulating; duplicate specs in
         one batch are executed once and fanned back out.
         """
         spec_list = list(specs)
         results: List[Optional[RunResult]] = [None] * len(spec_list)
 
         # Group duplicate cells so each unique spec is satisfied once —
-        # one cache read or one execution, fanned out to every index.
+        # one store read or one execution, fanned out to every index.
         groups: Dict[RunSpec, List[int]] = {}
         for index, spec in enumerate(spec_list):
             groups.setdefault(spec, []).append(index)
 
         pending: Dict[RunSpec, List[int]] = {}
         for spec, indices in groups.items():
-            cached = self._cache_load(spec)
+            cached = self.store.get(spec) if self.store is not None else None
             if cached is not None:
                 self.stats.cache_hits += 1
                 for index in indices:
@@ -136,7 +157,7 @@ class ExperimentPool:
         return results  # type: ignore[return-value]
 
     def run_one(self, spec: RunSpec) -> RunResult:
-        """Execute a single spec (cache-aware)."""
+        """Execute a single spec (store-aware)."""
         return self.run([spec])[0]
 
     def _finish(
@@ -146,9 +167,10 @@ class ExperimentPool:
         pending: Dict[RunSpec, List[int]],
         results: List[Optional[RunResult]],
     ) -> None:
-        """Account, cache and fan out one completed cell."""
+        """Account, persist and fan out one completed cell."""
         self.stats.executed += 1
-        self._cache_store(spec, payload)
+        if self.store is not None:
+            self.store.put(spec, payload)
         result = RunResult.from_dict(payload)
         for index in pending[spec]:
             results[index] = result
@@ -161,13 +183,14 @@ class ExperimentPool:
     ) -> None:
         """Fan specs out over worker processes.
 
-        Each cell is cached the moment it completes — not when the
-        whole batch does — so an interrupted or partially failed sweep
-        resumes from the cells that finished.  If a cell raises: with a
-        cache, the remaining completions are still drained into it
-        before the first error propagates; without one, draining would
-        only burn compute on results nobody keeps, so not-yet-started
-        cells are cancelled and the error surfaces promptly.
+        Each cell is committed to the store the moment it completes —
+        not when the whole batch does — so an interrupted or partially
+        failed sweep resumes from the cells that finished.  If a cell
+        raises: with a store, the remaining completions are still
+        drained into it before the first error propagates; without
+        one, draining would only burn compute on results nobody keeps,
+        so not-yet-started cells are cancelled and the error surfaces
+        promptly.
         """
         max_workers = min(self.workers, len(specs))
         first_error: Optional[BaseException] = None
@@ -184,49 +207,10 @@ class ExperimentPool:
                 except BaseException as error:  # noqa: BLE001 - re-raised
                     if first_error is None:
                         first_error = error
-                        if self.cache_dir is None:
+                        if self.store is None:
                             for other in futures:
                                 other.cancel()
                     continue
                 self._finish(futures[future], payload, pending, results)
         if first_error is not None:
             raise first_error
-
-    # -- cache --------------------------------------------------------------
-
-    def _cache_path(self, spec: RunSpec) -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / f"{spec.spec_hash()}.json"
-
-    def _cache_load(self, spec: RunSpec) -> Optional[RunResult]:
-        path = self._cache_path(spec)
-        if path is None or not path.exists():
-            return None
-        try:
-            with path.open("r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            return None  # unreadable entries are treated as misses
-        if (
-            entry.get("version") != SPEC_SCHEMA_VERSION
-            or entry.get("spec") != spec.to_dict()
-        ):
-            return None  # stale schema or (vanishingly unlikely) hash clash
-        return RunResult.from_dict(entry["result"])
-
-    def _cache_store(self, spec: RunSpec, payload: Dict[str, Any]) -> None:
-        path = self._cache_path(spec)
-        if path is None:
-            return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "version": SPEC_SCHEMA_VERSION,
-            "spec": spec.to_dict(),
-            "result": payload,
-        }
-        # Write-then-rename so concurrent readers never see a torn file.
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("w", encoding="utf-8") as handle:
-            json.dump(entry, handle)
-        os.replace(tmp, path)

@@ -30,6 +30,7 @@ from repro.scenarios import (
     build_named_scenario,
     build_scenario,
     is_scenario_name,
+    validate_scenario_params,
 )
 from repro.scenarios.patterns import PATTERN_NAMES
 
@@ -110,6 +111,10 @@ class RunSpec:
         object.__setattr__(
             self, "scenario_params", _freeze_params(self.scenario_params)
         )
+        # Eagerly reject parameters the workload's builder cannot take:
+        # a typo'd or pattern-only key must fail here, not as a
+        # TypeError inside a worker process mid-sweep.
+        validate_scenario_params(self.pattern, self.scenario_params)
         object.__setattr__(self, "record_phases", tuple(self.record_phases))
         object.__setattr__(
             self,
@@ -307,6 +312,14 @@ class SweepGrid:
         object.__setattr__(
             self, "scenario_params", _freeze_params(self.scenario_params)
         )
+        # scenario_params are shared across the whole workload axis, so
+        # a pattern-only key combined with a catalog scenario (or vice
+        # versa) must fail at grid construction — per workload, against
+        # the merged per-cell parameters each spec would receive.
+        for name, extra in self.workloads():
+            merged = dict(self.scenario_params)
+            merged.update(extra)
+            validate_scenario_params(name, merged)
 
     def workloads(self) -> Tuple[Tuple[str, FrozenParams], ...]:
         """The combined workload axis: patterns then catalog scenarios."""

@@ -1,0 +1,457 @@
+"""The SQLite-backed result store: one file, every completed cell.
+
+Sweep results used to live as a flat directory of per-spec JSON blobs
+with no index, no resume story and no cross-driver sharing.
+:class:`ResultStore` replaces that: a single SQLite file whose rows are
+keyed by the spec content hash, with indexed columns for the spec axes
+(pattern, controller, engine, seed, duration) so ``query`` can answer
+"every seed of this cell" without deserializing the whole store, and
+JSON payload columns carrying the exact ``RunSpec.to_dict`` /
+``RunResult.to_dict`` round-trip forms the orchestration layer already
+uses to cross process boundaries.
+
+Properties the sweep machinery relies on:
+
+* **crash-safe incremental writes** — every :meth:`put` is its own
+  committed transaction (WAL journal), so a sweep killed mid-flight
+  leaves a readable store holding exactly the cells that finished;
+* **true resume** — :class:`~repro.orchestration.pool.ExperimentPool`
+  consults the store before executing, so re-running any sweep skips
+  completed cells and continues where the kill happened;
+* **schema-versioned entries** — rows written under an older
+  ``SPEC_SCHEMA_VERSION`` are never served (and ``get`` re-checks the
+  stored spec JSON against the querying spec, so even a hash collision
+  cannot alias two cells);
+* **one-time JSON import** — opening a store with ``import_json_dir``
+  ingests a legacy per-spec JSON cache directory once, records the fact
+  in the store's meta table, and never consults the directory again.
+
+Only the parent (pool) process touches the store; worker processes
+return payloads over the executor, so there is no cross-process SQLite
+write contention inside a single sweep.  Concurrent *separate* sweeps
+sharing a store file are serialized by SQLite itself (WAL + busy
+timeout).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
+
+from repro.experiments.runner import RunResult
+from repro.orchestration.spec import SPEC_SCHEMA_VERSION, RunSpec
+
+__all__ = ["ResultStore", "StoredRecord", "STORE_FILENAME"]
+
+#: Default store file name inside a cache directory.
+STORE_FILENAME = "results.sqlite"
+
+#: Layout version of the SQLite schema itself (tables/columns), kept in
+#: the meta table; independent of ``SPEC_SCHEMA_VERSION``, which
+#: versions the spec/result payloads stored in the rows.
+STORE_LAYOUT_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    spec_hash TEXT PRIMARY KEY,
+    spec_version INTEGER NOT NULL,
+    pattern TEXT NOT NULL,
+    controller TEXT NOT NULL,
+    engine TEXT NOT NULL,
+    seed INTEGER NOT NULL,
+    duration REAL,
+    scenario_name TEXT,
+    delay_mode TEXT,
+    average_queuing_time REAL,
+    spec_json TEXT NOT NULL,
+    result_json TEXT NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_results_pattern ON results (pattern);
+CREATE INDEX IF NOT EXISTS idx_results_controller ON results (controller);
+CREATE INDEX IF NOT EXISTS idx_results_engine ON results (engine);
+CREATE INDEX IF NOT EXISTS idx_results_seed ON results (seed);
+CREATE INDEX IF NOT EXISTS idx_results_duration ON results (duration);
+CREATE TABLE IF NOT EXISTS store_meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+#: Sentinel distinguishing "filter on NULL duration" from "no filter".
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class StoredRecord:
+    """One fully decoded store row: the cell and its result."""
+
+    spec_hash: str
+    spec: RunSpec
+    result: RunResult
+    created_at: float
+
+    @property
+    def summary(self):
+        """Shortcut to the run's :class:`~repro.metrics.collector.Summary`."""
+        return self.result.summary
+
+
+class ResultStore:
+    """A single-file SQLite store of completed sweep cells.
+
+    Parameters
+    ----------
+    path:
+        The SQLite file (created on first open); ``":memory:"`` builds
+        an in-process store for tests and benchmarks.
+    import_json_dir:
+        Optional legacy per-spec JSON cache directory.  Its entries are
+        imported into the store the first time this store opens with
+        the directory, and never read again afterwards (the import is
+        recorded in the meta table).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        import_json_dir: Optional[Union[str, os.PathLike]] = None,
+    ):
+        self.path = path if str(path) == ":memory:" else Path(path)
+        if isinstance(self.path, Path):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        with self._conn:
+            self._conn.executescript(_SCHEMA)
+        layout = self._get_meta("layout_version")
+        if layout is None:
+            self._set_meta("layout_version", str(STORE_LAYOUT_VERSION))
+        elif int(layout) > STORE_LAYOUT_VERSION:
+            raise ValueError(
+                f"store {self.path} uses layout version {layout}, newer "
+                f"than this code understands ({STORE_LAYOUT_VERSION})"
+            )
+        #: Entries ingested from ``import_json_dir`` on this open.
+        self.imported = 0
+        if import_json_dir is not None:
+            self.imported = self._maybe_import_json_dir(Path(import_json_dir))
+
+    @classmethod
+    def at_directory(cls, directory: Union[str, os.PathLike]) -> "ResultStore":
+        """Open ``<directory>/results.sqlite``, importing any legacy
+        per-spec JSON cache entries found in the directory (once)."""
+        directory = Path(directory)
+        return cls(directory / STORE_FILENAME, import_json_dir=directory)
+
+    # -- core API -----------------------------------------------------------
+
+    def put(
+        self, spec: RunSpec, result: Union[RunResult, Mapping[str, Any]]
+    ) -> None:
+        """Store one completed cell (overwrites any previous entry).
+
+        Each call is its own committed transaction: a sweep killed
+        right after ``put`` returns keeps the cell.
+        """
+        payload = result.to_dict() if isinstance(result, RunResult) else dict(result)
+        summary = payload.get("summary") or {}
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results VALUES "
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    spec.spec_hash(),
+                    SPEC_SCHEMA_VERSION,
+                    spec.pattern,
+                    spec.controller,
+                    spec.engine,
+                    spec.seed,
+                    spec.duration,
+                    payload.get("scenario_name"),
+                    summary.get("delay_mode", "per-vehicle"),
+                    summary.get("average_queuing_time"),
+                    json.dumps(spec.to_dict(), sort_keys=True),
+                    json.dumps(payload),
+                    time.time(),
+                ),
+            )
+
+    def _valid_row(self, spec: RunSpec, row) -> bool:
+        """A row may satisfy a spec only if version and spec JSON match."""
+        spec_version, spec_json = row[0], row[1]
+        return (
+            spec_version == SPEC_SCHEMA_VERSION
+            and json.loads(spec_json) == spec.to_dict()
+        )
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        """The stored result for a spec, or ``None``.
+
+        Entries written under a stale schema version (or, vanishingly
+        unlikely, a colliding hash) are treated as misses.
+        """
+        row = self._conn.execute(
+            "SELECT spec_version, spec_json, result_json FROM results "
+            "WHERE spec_hash = ?",
+            (spec.spec_hash(),),
+        ).fetchone()
+        if row is None or not self._valid_row(spec, row):
+            return None
+        return RunResult.from_dict(json.loads(row[2]))
+
+    def contains(self, spec: RunSpec) -> bool:
+        """True if the store holds a servable result for the spec."""
+        row = self._conn.execute(
+            "SELECT spec_version, spec_json FROM results WHERE spec_hash = ?",
+            (spec.spec_hash(),),
+        ).fetchone()
+        return row is not None and self._valid_row(spec, row)
+
+    def query(
+        self,
+        pattern: Optional[str] = None,
+        controller: Optional[str] = None,
+        engine: Optional[str] = None,
+        seed: Optional[int] = None,
+        duration: Any = _UNSET,
+        delay_mode: Optional[str] = None,
+    ) -> List[StoredRecord]:
+        """All servable records matching the given spec-axis filters.
+
+        ``duration=None`` filters on cells that ran at their scenario's
+        default horizon; omit the argument to not filter on duration.
+        Results come back in insertion order (then by hash) so repeated
+        queries are deterministic.
+        """
+        clauses = ["spec_version = ?"]
+        args: List[Any] = [SPEC_SCHEMA_VERSION]
+        for column, value in (
+            ("pattern", pattern),
+            ("controller", controller),
+            ("engine", engine),
+            ("seed", seed),
+            ("delay_mode", delay_mode),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                args.append(value)
+        if duration is not _UNSET:
+            if duration is None:
+                clauses.append("duration IS NULL")
+            else:
+                clauses.append("duration = ?")
+                args.append(float(duration))
+        rows = self._conn.execute(
+            "SELECT spec_hash, spec_json, result_json, created_at "
+            f"FROM results WHERE {' AND '.join(clauses)} "
+            "ORDER BY created_at, spec_hash",
+            args,
+        ).fetchall()
+        return self._decode_all(rows)
+
+    def records(self) -> List[StoredRecord]:
+        """Every servable record in the store."""
+        return self.query()
+
+    def find(self, hash_prefix: str) -> List[StoredRecord]:
+        """Records whose spec hash starts with ``hash_prefix``."""
+        rows = self._conn.execute(
+            "SELECT spec_hash, spec_json, result_json, created_at "
+            "FROM results WHERE spec_hash LIKE ? AND spec_version = ? "
+            "ORDER BY spec_hash",
+            (hash_prefix + "%", SPEC_SCHEMA_VERSION),
+        ).fetchall()
+        return self._decode_all(rows)
+
+    def _decode_all(self, rows) -> List[StoredRecord]:
+        """Decode rows, skipping any a newer/older codebase cannot.
+
+        A row can stop being constructible without a schema bump — a
+        scenario parameter a builder dropped, a plugin engine not
+        registered in this process.  One such row must not make the
+        whole store unreadable, so decode failures degrade to
+        omission (``get`` already treats the same rows as misses).
+        """
+        out = []
+        for row in rows:
+            try:
+                out.append(
+                    StoredRecord(
+                        spec_hash=row[0],
+                        spec=RunSpec.from_dict(json.loads(row[1])),
+                        result=RunResult.from_dict(json.loads(row[2])),
+                        created_at=float(row[3]),
+                    )
+                )
+            except (KeyError, TypeError, ValueError):
+                continue
+        return out
+
+    def __len__(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM results WHERE spec_version = ?",
+            (SPEC_SCHEMA_VERSION,),
+        ).fetchone()[0]
+
+    def __iter__(self) -> Iterator[StoredRecord]:
+        return iter(self.records())
+
+    # -- reporting views ----------------------------------------------------
+
+    def overview(self) -> List[Dict[str, Any]]:
+        """Per (pattern, controller, engine) roll-up for ``results list``."""
+        rows = self._conn.execute(
+            "SELECT pattern, controller, engine, COUNT(*), "
+            "COUNT(DISTINCT seed), GROUP_CONCAT(DISTINCT delay_mode), "
+            "AVG(average_queuing_time) "
+            "FROM results WHERE spec_version = ? "
+            "GROUP BY pattern, controller, engine "
+            "ORDER BY pattern, controller, engine",
+            (SPEC_SCHEMA_VERSION,),
+        ).fetchall()
+        return [
+            {
+                "pattern": pattern,
+                "controller": controller,
+                "engine": engine,
+                "cells": cells,
+                "seeds": seeds,
+                "delay_mode": modes,
+                "mean_avg_queuing_time": mean_queuing,
+            }
+            for pattern, controller, engine, cells, seeds, modes, mean_queuing
+            in rows
+        ]
+
+    def export_rows(self) -> List[Dict[str, Any]]:
+        """Tidy per-cell rows (spec axes + summary metrics) for export.
+
+        Reads the indexed columns and the summary sub-dict directly —
+        no :class:`RunSpec`/:class:`RunResult` reconstruction — so
+        export stays cheap for trace-heavy cells and keeps working for
+        rows whose spec no longer constructs under this codebase.
+        ``duration`` is the *spec axis* (empty = scenario default);
+        the run's actual horizon is exported as ``horizon``.
+        """
+        rows = self._conn.execute(
+            "SELECT spec_hash, pattern, controller, engine, seed, "
+            "duration, scenario_name, spec_json, result_json "
+            "FROM results WHERE spec_version = ? "
+            "ORDER BY created_at, spec_hash",
+            (SPEC_SCHEMA_VERSION,),
+        ).fetchall()
+        out = []
+        for (
+            spec_hash,
+            pattern,
+            controller,
+            engine,
+            seed,
+            duration,
+            scenario_name,
+            spec_json,
+            result_json,
+        ) in rows:
+            spec_payload = json.loads(spec_json)
+            summary = dict(json.loads(result_json).get("summary") or {})
+            row: Dict[str, Any] = {
+                "spec_hash": spec_hash,
+                "pattern": pattern,
+                "controller": controller,
+                "controller_params": ",".join(
+                    f"{k}={v}"
+                    for k, v in spec_payload.get("controller_params", [])
+                ),
+                "engine": engine,
+                "seed": seed,
+                "duration": duration,
+                "scenario_name": scenario_name,
+            }
+            # Summary carries its own "duration" (the actual horizon);
+            # exported under a distinct name so it cannot shadow the
+            # duration *axis* above.
+            if "duration" in summary:
+                summary["horizon"] = summary.pop("duration")
+            row.update(summary)
+            out.append(row)
+        return out
+
+    # -- meta / migration ---------------------------------------------------
+
+    def _get_meta(self, key: str) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT value FROM store_meta WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def _set_meta(self, key: str, value: str) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO store_meta VALUES (?, ?)",
+                (key, value),
+            )
+
+    def _maybe_import_json_dir(self, directory: Path) -> int:
+        """Ingest a legacy per-spec JSON cache directory, exactly once.
+
+        Returns the number of entries imported on this call (0 when
+        the directory was already imported, does not exist, or holds
+        nothing usable).  The directory is never read again after the
+        first import — resuming sweeps consult only the store.
+        """
+        key = f"imported-json:{directory.resolve()}"
+        if self._get_meta(key) is not None:
+            return 0
+        count = 0
+        candidates = (
+            sorted(directory.glob("*.json")) if directory.is_dir() else []
+        )
+        for path in candidates:
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue  # unreadable legacy entries are skipped
+            if (
+                not isinstance(entry, dict)
+                or entry.get("version") != SPEC_SCHEMA_VERSION
+                or "spec" not in entry
+                or "result" not in entry
+            ):
+                continue
+            try:
+                spec = RunSpec.from_dict(entry["spec"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if not self.contains(spec):
+                self.put(spec, entry["result"])
+                count += 1
+        if candidates:
+            # Mark done only once legacy files were actually seen: a
+            # store opened over a still-empty directory must import a
+            # cache that gets copied in later, while a dir scanned
+            # with entries is one-shot — never consulted again.
+            self._set_meta(key, str(count))
+        return count
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.path)!r}, entries={len(self)})"

@@ -19,6 +19,7 @@ the paper's patterns.
 from repro.scenarios.catalog import (
     ScenarioEntry,
     ScenarioFamily,
+    accepted_scenario_params,
     build_named_scenario,
     catalog_entries,
     family_names,
@@ -26,6 +27,7 @@ from repro.scenarios.catalog import (
     register_family,
     register_scenario,
     scenario_names,
+    validate_scenario_params,
 )
 from repro.scenarios.core import (
     DEFAULT_DURATIONS,
@@ -53,4 +55,6 @@ __all__ = [
     "scenario_names",
     "catalog_entries",
     "is_scenario_name",
+    "accepted_scenario_params",
+    "validate_scenario_params",
 ]

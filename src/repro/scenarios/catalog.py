@@ -22,11 +22,23 @@ catalog, which the orchestration layer's spec hashing relies on.
 
 from __future__ import annotations
 
+import inspect
 import re
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
-from repro.scenarios.core import Scenario
+from repro.scenarios.core import Scenario, build_scenario
+from repro.scenarios.patterns import PATTERN_NAMES
 
 __all__ = [
     "ScenarioFamily",
@@ -38,6 +50,8 @@ __all__ = [
     "catalog_entries",
     "is_scenario_name",
     "build_named_scenario",
+    "accepted_scenario_params",
+    "validate_scenario_params",
 ]
 
 #: Builder signature of a family: keyword-only scenario construction.
@@ -52,11 +66,19 @@ _GRID_NAME = re.compile(
 
 @dataclass(frozen=True)
 class ScenarioFamily:
-    """A demand-profile shape, parameterized by grid size and load."""
+    """A demand-profile shape, parameterized by grid size and load.
+
+    ``extra_params`` names the keyword arguments a ``**kwargs``-taking
+    builder forwards to its helpers (so eager validation can still
+    enumerate what the family accepts).  ``None`` means "unknown":
+    validation then accepts anything beyond the builder's explicit
+    signature rather than rejecting parameters it cannot see.
+    """
 
     name: str
     description: str
     builder: FamilyBuilder
+    extra_params: Optional[FrozenSet[str]] = None
 
 
 @dataclass(frozen=True)
@@ -87,10 +109,26 @@ _REGISTRY: Dict[str, ScenarioEntry] = {}
 
 
 def register_family(
-    name: str, description: str, builder: FamilyBuilder
+    name: str,
+    description: str,
+    builder: FamilyBuilder,
+    extra_params: Optional[Iterable[str]] = None,
 ) -> ScenarioFamily:
-    """Register a scenario family (idempotent per name)."""
-    family = ScenarioFamily(name=name, description=description, builder=builder)
+    """Register a scenario family (idempotent per name).
+
+    ``extra_params`` declares the pass-through keywords a
+    ``**kwargs``-taking builder accepts (see
+    :class:`ScenarioFamily`); leave it ``None`` to opt the family out
+    of eager parameter validation.
+    """
+    family = ScenarioFamily(
+        name=name,
+        description=description,
+        builder=builder,
+        extra_params=(
+            None if extra_params is None else frozenset(extra_params)
+        ),
+    )
     _FAMILIES[name] = family
     return family
 
@@ -161,3 +199,82 @@ def build_named_scenario(name: str, seed: int = 0, **overrides: Any) -> Scenario
     if entry is None:
         entry = _dynamic_entry(name)
     return entry.build(seed=seed, **overrides)
+
+
+# -- eager builder-signature validation ---------------------------------------
+#
+# Sweep grids share ``scenario_params`` across their whole workload
+# axis.  A pattern-only keyword (``mixed_segment_duration``) landing on
+# a catalog cell used to surface as a ``TypeError`` inside a worker
+# process mid-sweep; the helpers below let the orchestration layer
+# reject such grids at construction time with a message that names the
+# offending parameter and what the workload actually accepts.
+
+#: Builder arguments supplied by the registry itself, never by sweeps.
+_RESERVED_BUILDER_ARGS = frozenset({"name", "seed", "pattern"})
+
+
+def _explicit_keywords(builder: Callable[..., Any]) -> Tuple[FrozenSet[str], bool]:
+    """A builder's named keyword parameters and whether it has ``**kwargs``."""
+    accepts_kwargs = False
+    names = set()
+    for parameter in inspect.signature(builder).parameters.values():
+        if parameter.kind == inspect.Parameter.VAR_KEYWORD:
+            accepts_kwargs = True
+        elif parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            names.add(parameter.name)
+    return frozenset(names - _RESERVED_BUILDER_ARGS), accepts_kwargs
+
+
+def accepted_scenario_params(workload: str) -> Optional[FrozenSet[str]]:
+    """The ``scenario_params`` keys a workload's builder accepts.
+
+    ``workload`` is either one of the paper's pattern names (built by
+    :func:`~repro.scenarios.core.build_scenario`) or a catalog name
+    (built by its family's builder).  Returns ``None`` when the set
+    cannot be determined — a ``**kwargs`` builder whose family declared
+    no ``extra_params`` — in which case callers must not reject
+    anything.  Raises ``ValueError`` for unknown workload names.
+    """
+    if workload in PATTERN_NAMES:
+        names, _ = _explicit_keywords(build_scenario)
+        return names
+    entry = _REGISTRY.get(workload)
+    if entry is None:
+        entry = _dynamic_entry(workload)  # raises for unknown names
+    family = entry.family
+    names, accepts_kwargs = _explicit_keywords(family.builder)
+    if not accepts_kwargs:
+        return names
+    if family.extra_params is None:
+        return None
+    return names | family.extra_params
+
+
+def validate_scenario_params(
+    workload: str,
+    params: Union[Mapping[str, Any], Iterable[Tuple[str, Any]]],
+) -> None:
+    """Reject ``scenario_params`` the workload's builder cannot accept.
+
+    Raises ``ValueError`` naming the unknown keys and the accepted
+    ones, so a misassembled sweep grid fails at construction instead
+    of as a ``TypeError`` inside a worker mid-sweep.
+    """
+    keys = set(params.keys() if isinstance(params, Mapping) else (k for k, _ in params))
+    if not keys:
+        return
+    accepted = accepted_scenario_params(workload)
+    if accepted is None:
+        return
+    unknown = keys - accepted
+    if unknown:
+        raise ValueError(
+            f"scenario parameter(s) {sorted(unknown)} are not accepted by "
+            f"workload {workload!r} (its builder accepts: "
+            f"{sorted(accepted)}); per-workload parameters belong on that "
+            f"workload's own axis entry, not on the shared scenario_params"
+        )

@@ -237,31 +237,61 @@ def _build_gridlock(
     )
 
 
+#: The ``**grid_kwargs`` every family builder forwards verbatim to
+#: :func:`_grid_scenario`; declared at registration so the catalog can
+#: validate sweep parameters eagerly (families that bind one of these
+#: themselves must subtract it — passing it again would be a
+#: ``TypeError``, exactly what eager validation exists to prevent).
+_GRID_PASSTHROUGH = frozenset(
+    {
+        "turning",
+        "capacity",
+        "service_rate",
+        "road_length",
+        "capacity_overrides",
+        "node_service_rates",
+    }
+)
+
 STEADY = register_family(
-    "steady", "uniform constant Poisson demand on all sides", _build_steady
+    "steady",
+    "uniform constant Poisson demand on all sides",
+    _build_steady,
+    extra_params=_GRID_PASSTHROUGH,
 )
 TIDAL = register_family(
     "tidal",
     "peak-direction demand that reverses mid-horizon (commute tide)",
     _build_tidal,
+    extra_params=_GRID_PASSTHROUGH,
 )
 SURGE = register_family(
     "surge",
     "uniform base load with a step-change surge window (flash crowd)",
     _build_surge,
+    extra_params=_GRID_PASSTHROUGH,
 )
 INCIDENT = register_family(
     "incident",
     "steady demand over a lane-capacity-drop at the central junction",
     _build_incident,
+    # capacity/service_rate are explicit builder params and the
+    # overrides are computed from the incident shape itself.
+    extra_params=_GRID_PASSTHROUGH
+    - {"capacity", "service_rate", "capacity_overrides", "node_service_rates"},
 )
 ASYMMETRIC = register_family(
     "asymmetric",
     "steady demand with a dominant left-turn stream from one side",
     _build_asymmetric,
+    # turning is derived from heavy_side/heavy_left.
+    extra_params=_GRID_PASSTHROUGH - {"turning"},
 )
 GRIDLOCK = register_family(
-    "gridlock", "over-saturating uniform demand (stability stress)", _build_gridlock
+    "gridlock",
+    "over-saturating uniform demand (stability stress)",
+    _build_gridlock,
+    extra_params=_GRID_PASSTHROUGH,
 )
 
 register_scenario(

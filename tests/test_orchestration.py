@@ -60,9 +60,13 @@ class TestRunSpec:
         loaded JSON against ``to_dict()``; a tuple that json turns
         into a list would defeat every lookup for such specs.
         """
+        # Tuple values freeze/thaw through the same _freeze_params
+        # mechanism for both param slots; scenario_params must also
+        # pass the eager builder-signature validation, so the tuple
+        # case rides on controller_params here.
         spec = RunSpec(
             controller_params={"weights": (1.0, 2.0)},
-            scenario_params={"shape": (3, 3)},
+            scenario_params={"rows": 4, "cols": 3},
         )
         payload = spec.to_dict()
         assert payload == json.loads(json.dumps(payload))
@@ -175,6 +179,40 @@ class TestSweepGrid:
         with pytest.raises(ValueError, match="unknown engine"):
             SweepGrid(engines=("meso", "warp-drive"))
 
+    def test_pattern_only_param_on_scenario_rejected_at_construction(self):
+        """A pattern-only kwarg shared with a catalog scenario must fail
+        when the grid is built, not as a TypeError inside a worker."""
+        with pytest.raises(ValueError, match="mixed_segment_duration"):
+            SweepGrid(
+                scenarios=("steady-3x3",),
+                scenario_params={"mixed_segment_duration": 600.0},
+                durations=(60.0,),
+            )
+
+    def test_unknown_scenario_param_rejected_on_spec(self):
+        with pytest.raises(ValueError, match="not accepted"):
+            RunSpec(
+                pattern="surge-3x3",
+                scenario_params={"demand_scale": 1.2},  # pattern-only
+            )
+
+    def test_per_entry_param_validated_against_its_own_workload(self):
+        # 'load' is valid for catalog scenarios but not for patterns;
+        # attaching it per-entry keeps the pattern cells clean.
+        grid = SweepGrid(
+            patterns=("I",),
+            scenarios=(("steady-3x3", {"load": 1.2}),),
+            durations=(60.0,),
+        )
+        assert len(grid.specs()) == 2
+        with pytest.raises(ValueError, match="'I'"):
+            SweepGrid(
+                patterns=("I",),
+                scenarios=("steady-3x3",),
+                scenario_params={"load": 1.2},  # shared -> hits pattern I
+                durations=(60.0,),
+            )
+
     def test_scenario_cell_builds_and_executes(self):
         spec = SweepGrid(
             patterns=(),
@@ -257,15 +295,27 @@ class TestExperimentPool:
         assert resumed.stats.executed == 0
         assert resumed.stats.cache_hits == len(good)
 
-    def test_cache_ignores_corrupt_entries(self, tmp_path):
+    def test_stale_schema_entries_treated_as_miss(self, tmp_path):
+        """Rows written under an older spec schema are never served."""
+        import sqlite3
+
         spec = RunSpec(**QUICK)
         pool = ExperimentPool(cache_dir=tmp_path)
         pool.run_one(spec)
-        path = pool._cache_path(spec)
-        path.write_text("{not json", encoding="utf-8")
+        with sqlite3.connect(tmp_path / "results.sqlite") as conn:
+            conn.execute("UPDATE results SET spec_version = spec_version - 1")
         again = ExperimentPool(cache_dir=tmp_path)
         again.run_one(spec)
-        assert again.stats.executed == 1  # corrupt entry treated as a miss
+        assert again.stats.executed == 1  # stale entry treated as a miss
+
+    def test_store_path_accepted_directly(self, tmp_path):
+        """``store=`` takes a path to the SQLite file (no directory)."""
+        spec = RunSpec(**QUICK)
+        ExperimentPool(store=tmp_path / "s.sqlite").run_one(spec)
+        warm = ExperimentPool(store=tmp_path / "s.sqlite")
+        warm.run_one(spec)
+        assert warm.stats.cache_hits == 1
+        assert warm.stats.executed == 0
 
     def test_cache_distinguishes_specs(self, tmp_path):
         pool = ExperimentPool(cache_dir=tmp_path)
