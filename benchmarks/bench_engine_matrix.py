@@ -1,12 +1,16 @@
-"""Engine x scenario matrix: meso vs meso-counts across the catalog.
+"""Engine x scenario matrix: the mesoscopic backends across the catalog.
 
 One pytest-benchmark case per (catalog entry, mesoscopic engine): warm
 the network up, then measure closed-loop mini-slots per second under
-UTIL-BP.  Comparing the two engine columns of the printed matrix shows
-where the counts-based backend pays off (everywhere, increasingly so
-on larger grids) and doubles as a drift alarm: if an engine change
-erodes the ratio, this benchmark shows *which* workload shape lost it,
-while ``scripts/bench_ci.py`` gates the headline number in CI.
+UTIL-BP.  Comparing the engine columns of the printed matrix shows
+where each backend pays off (``meso-counts`` everywhere over ``meso``,
+increasingly so on larger grids; ``meso-vec`` runs here as a batch of
+one through its single-replication adapter, so this matrix exposes its
+per-replication overhead — its win, batching many seeds per step, is
+measured by ``bench_batch_scaling.py``) and doubles as a drift alarm:
+if an engine change erodes a ratio, this benchmark shows *which*
+workload shape lost it, while ``scripts/bench_ci.py`` gates the
+headline numbers in CI.
 
 The micro engine is deliberately excluded — it is 1-2 orders slower
 and has its own benchmark (``bench_engine_perf.py``).
@@ -27,7 +31,7 @@ from repro.scenarios import build_named_scenario, scenario_names
 #: the steady-state step cost (not the empty-network cost) is timed.
 WARMUP_STEPS = 90
 
-ENGINES = ("meso", "meso-counts")
+ENGINES = ("meso", "meso-counts", "meso-vec")
 
 
 @pytest.fixture(
@@ -62,8 +66,8 @@ def test_engine_matrix_step_rate(benchmark, warm_cell):
 
 
 def test_matrix_cells_agree_on_dynamics():
-    """The matrix compares cost, so both cells must do the same work:
-    spot-check that a pair of warm cells produced identical trajectories
+    """The matrix compares cost, so all cells must do the same work:
+    spot-check that the warm cells produced identical trajectories
     (full equivalence lives in tests/test_engine_parity.py)."""
     runs = {}
     for engine in ENGINES:
@@ -73,4 +77,4 @@ def test_matrix_cells_agree_on_dynamics():
         for _ in range(WARMUP_STEPS):
             sim.step(1.0, controller.decide(sim.observations()))
         runs[engine] = (sim.vehicles_in_network(), sim.backlog_size())
-    assert runs["meso"] == runs["meso-counts"]
+    assert runs["meso"] == runs["meso-counts"] == runs["meso-vec"]

@@ -7,12 +7,20 @@ Measures two kinds of steps/second on a small, fixed workload set:
 * **engine-stepping** — ``observations() + step()`` under a fixed
   phase plan, isolating the simulation backend from the controller
   (keys like ``engine/meso/steady-8x8``);
+* **batch-stepping** — pure ``step()`` dynamics under a fixed phase
+  plan, comparing the ``meso-vec`` batch engine (B replications per
+  step, reported as *replication* mini-slots/s) against serial
+  ``meso-counts`` runs of the same shape (keys like
+  ``step/meso-vec-b16/steady-10x10-l10``).  Observation building and
+  controllers are per-replication Python work identical on both sides,
+  so the stepping comparison isolates exactly what batching
+  accelerates;
 * **store overhead** — ``ResultStore`` put/get/query operations per
   second on a file-backed SQLite store (key ``store/put-get-query``):
   the per-cell bookkeeping every sweep pays on top of simulating, so a
   store regression shows up here before it drowns a mass sweep.
 
-Two gates, both enforced in CI:
+Three gates, all enforced in CI:
 
 1. **Regression gate** — writes the numbers to ``BENCH_ci.json`` and
    fails (exit 1) if any workload's calibration-normalized throughput
@@ -24,11 +32,16 @@ Two gates, both enforced in CI:
    same-machine steps/s.  This pins the fast engine's reason to exist:
    a change that erodes the speedup below 5x defeats the point of
    maintaining a second backend.
+3. **Batch speedup gate** — fails (exit 1) if one ``meso-vec`` batch
+   of 16 replications does not step at least ``--min-vec-speedup``
+   (default 3x) more replication mini-slots/s than 16 serial
+   ``meso-counts`` runs would on the gated light-demand 10x10 grid —
+   the mass-replication regime the batch engine exists for.
 
 Raw steps/second is machine-dependent, so every run also times a fixed
 pure-Python/numpy *calibration* workload and gates the baseline
 comparison on the normalized ratio ``steps_per_second /
-calibration_score``; the speedup gate is a same-run ratio and needs no
+calibration_score``; the speedup gates are same-run ratios and need no
 normalization.
 
 Usage
@@ -51,12 +64,13 @@ from typing import Dict
 import numpy as np
 
 from repro.control.factory import make_network_controller
+from repro.core.engine import build_batch_engine
 from repro.experiments.runner import build_engine
 from repro.scenarios import build_named_scenario
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline_ci.json"
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Closed-loop workloads: (key, engine, scenario name, measured steps).
 WORKLOADS = (
@@ -64,6 +78,7 @@ WORKLOADS = (
     ("meso/surge-4x4", "meso", "surge-4x4", 250),
     ("meso/incident-3x3", "meso", "incident-3x3", 400),
     ("meso-counts/surge-4x4", "meso-counts", "surge-4x4", 250),
+    ("meso-vec/surge-4x4", "meso-vec", "surge-4x4", 250),
     ("micro/steady-3x3", "micro", "steady-3x3", 120),
 )
 
@@ -73,16 +88,42 @@ ENGINE_WORKLOADS = (
     ("engine/meso-counts/steady-10x10", "meso-counts", "steady-10x10", 200),
 )
 
-#: Same-run speedup gates: (fast key, reference key).  The 10x10
-#: steady grid is the gated scenario: large enough that per-step fixed
-#: costs amortize, the regime the counts engine exists for (mass
-#: scenario x seed sweeps).
+#: The batch-gate workload shape: a large grid at light demand — mass
+#: replication of many scenarios is exactly where sweeps spend their
+#: seeds, and where per-replication Python overhead (not vehicle
+#: volume) dominates the serial engines' cost.
+BATCH_SCENARIO = "steady-10x10"
+BATCH_SCENARIO_PARAMS = {"load": 0.10}
+BATCH_WIDTH = 16
+
+#: Pure-stepping workloads (fixed phase plan, step() only): the serial
+#: reference and the B=16 batch, reported in replication mini-slots/s.
+STEPPING_WORKLOADS = (
+    ("step/meso-counts/steady-10x10-l10", "meso-counts", 400),
+    ("step/meso-vec-b16/steady-10x10-l10", "meso-vec", 400),
+)
+
+#: Same-run speedup gates: (fast key, reference key, argparse attribute
+#: holding the minimum ratio).  The stepping pair compares one B=16
+#: batch against 16 serial runs: replication-steps/s on both sides.
 SPEEDUP_GATES = (
-    ("engine/meso-counts/steady-10x10", "engine/meso/steady-10x10"),
+    (
+        "engine/meso-counts/steady-10x10",
+        "engine/meso/steady-10x10",
+        "min_speedup",
+    ),
+    (
+        "step/meso-vec-b16/steady-10x10-l10",
+        "step/meso-counts/steady-10x10-l10",
+        "min_vec_speedup",
+    ),
 )
 
 #: Mini-slots simulated before timing starts (populate the queues).
 WARMUP_STEPS = 60
+
+#: Warm-up for the light-demand stepping workloads: queues fill slower.
+STEPPING_WARMUP = 120
 
 #: Green dwell of the fixed phase plan used for engine stepping.
 PHASE_DWELL = 15
@@ -160,6 +201,64 @@ def measure_engine_steps_per_second(
     return best
 
 
+def measure_serial_stepping(
+    engine, scenario_name, params, steps, repeats
+) -> float:
+    """Best-of-``repeats`` pure ``step()`` rate of one serial engine."""
+    best = 0.0
+    for attempt in range(repeats):
+        scenario = build_named_scenario(
+            scenario_name, seed=1 + attempt, **params
+        )
+        sim = build_engine(scenario, engine)
+        nodes = list(scenario.network.intersections)
+        plan = [
+            {node: 1 + (k // PHASE_DWELL) % 4 for node in nodes}
+            for k in range(STEPPING_WARMUP + steps)
+        ]
+        for k in range(STEPPING_WARMUP):
+            sim.step(1.0, plan[k])
+        start = time.perf_counter()
+        for k in range(STEPPING_WARMUP, STEPPING_WARMUP + steps):
+            sim.step(1.0, plan[k])
+        elapsed = time.perf_counter() - start
+        best = max(best, steps / elapsed)
+    return best
+
+
+def measure_batch_stepping(
+    scenario_name, params, width, steps, repeats
+) -> float:
+    """Best-of-``repeats`` batch ``step()`` rate in replication-steps/s.
+
+    One batch mini-slot advances ``width`` replications, so the
+    reported rate is ``batch steps/s x width`` — directly comparable to
+    a serial engine's steps/s on the same workload.
+    """
+    best = 0.0
+    for attempt in range(repeats):
+        scenarios = [
+            build_named_scenario(
+                scenario_name, seed=1 + attempt * width + b, **params
+            )
+            for b in range(width)
+        ]
+        sim = build_batch_engine(scenarios, "meso-vec")
+        n_nodes = len(scenarios[0].network.intersections)
+        plan = [
+            np.full(n_nodes, 1 + (k // PHASE_DWELL) % 4, dtype=np.int64)
+            for k in range(STEPPING_WARMUP + steps)
+        ]
+        for k in range(STEPPING_WARMUP):
+            sim.step(1.0, plan[k])
+        start = time.perf_counter()
+        for k in range(STEPPING_WARMUP, STEPPING_WARMUP + steps):
+            sim.step(1.0, plan[k])
+        elapsed = time.perf_counter() - start
+        best = max(best, steps / elapsed * width)
+    return best
+
+
 #: Cells written/read/queried by the store-overhead workload.
 STORE_CELLS = 150
 
@@ -216,42 +315,60 @@ def measure_store_ops_per_second(repeats: int, cells: int = STORE_CELLS) -> floa
     return best
 
 
-def run_benchmarks(repeats: int, min_speedup: float) -> Dict:
+def run_benchmarks(repeats: int, minimums: Dict[str, float]) -> Dict:
     calibration = calibration_score()
     results = {}
-    for key, engine, scenario_name, steps in WORKLOADS:
-        rate = measure_steps_per_second(engine, scenario_name, steps, repeats)
+
+    def record(key, rate, unit="steps/s"):
         results[key] = {
             "steps_per_second": round(rate, 2),
             "normalized": round(rate / calibration, 5),
         }
         print(
-            f"  {key:<30} {rate:>10,.0f} steps/s   "
+            f"  {key:<36} {rate:>10,.0f} {unit:<12}"
             f"(normalized {rate / calibration:.3f})"
+        )
+
+    for key, engine, scenario_name, steps in WORKLOADS:
+        record(
+            key,
+            measure_steps_per_second(engine, scenario_name, steps, repeats),
         )
     for key, engine, scenario_name, steps in ENGINE_WORKLOADS:
-        rate = measure_engine_steps_per_second(
-            engine, scenario_name, steps, repeats
+        record(
+            key,
+            measure_engine_steps_per_second(
+                engine, scenario_name, steps, repeats
+            ),
         )
-        results[key] = {
-            "steps_per_second": round(rate, 2),
-            "normalized": round(rate / calibration, 5),
-        }
-        print(
-            f"  {key:<30} {rate:>10,.0f} steps/s   "
-            f"(normalized {rate / calibration:.3f})"
-        )
-    store_rate = measure_store_ops_per_second(repeats)
-    results["store/put-get-query"] = {
-        "steps_per_second": round(store_rate, 2),
-        "normalized": round(store_rate / calibration, 5),
-    }
-    print(
-        f"  {'store/put-get-query':<30} {store_rate:>10,.0f} ops/s     "
-        f"(normalized {store_rate / calibration:.3f})"
+    for key, engine, steps in STEPPING_WORKLOADS:
+        if engine == "meso-vec":
+            rate = measure_batch_stepping(
+                BATCH_SCENARIO,
+                BATCH_SCENARIO_PARAMS,
+                BATCH_WIDTH,
+                steps,
+                repeats,
+            )
+            record(key, rate, unit="rep-steps/s")
+        else:
+            record(
+                key,
+                measure_serial_stepping(
+                    engine,
+                    BATCH_SCENARIO,
+                    BATCH_SCENARIO_PARAMS,
+                    steps,
+                    repeats,
+                ),
+            )
+    record(
+        "store/put-get-query",
+        measure_store_ops_per_second(repeats),
+        unit="ops/s",
     )
     speedups = []
-    for fast_key, reference_key in SPEEDUP_GATES:
+    for fast_key, reference_key, minimum_name in SPEEDUP_GATES:
         ratio = (
             results[fast_key]["steps_per_second"]
             / results[reference_key]["steps_per_second"]
@@ -261,7 +378,7 @@ def run_benchmarks(repeats: int, min_speedup: float) -> Dict:
                 "fast": fast_key,
                 "reference": reference_key,
                 "ratio": round(ratio, 3),
-                "minimum": min_speedup,
+                "minimum": minimums[minimum_name],
             }
         )
     return {
@@ -347,6 +464,13 @@ def main() -> int:
         ),
     )
     parser.add_argument(
+        "--min-vec-speedup", type=float, default=3.0,
+        help=(
+            "required meso-vec@B=16 replication-steps/s over 16 serial "
+            "meso-counts runs on the gated light-demand grid (default 3.0)"
+        ),
+    )
+    parser.add_argument(
         "--repeats", type=int, default=3,
         help="timing repeats per workload (best is kept)",
     )
@@ -357,7 +481,13 @@ def main() -> int:
     args = parser.parse_args()
 
     print("running CI benchmark subset:")
-    current = run_benchmarks(args.repeats, args.min_speedup)
+    current = run_benchmarks(
+        args.repeats,
+        {
+            "min_speedup": args.min_speedup,
+            "min_vec_speedup": args.min_vec_speedup,
+        },
+    )
     args.output.write_text(json.dumps(current, indent=2) + "\n")
     print(f"\nwrote {args.output}")
 

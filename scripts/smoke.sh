@@ -84,4 +84,30 @@ echo "== result store inspection =="
 "$PYTHON" -m repro results export --store "$STORE" --format csv | head -n 3
 
 echo
+echo "== batched meso-vec sweep (seed fan-out through the pool) =="
+# Two seeds of one scenario on the batch engine run as ONE batched
+# simulation; the store must still end up with one row per seed (cache
+# keys are per spec, so batch execution stays resumable cell by cell).
+"$PYTHON" -m repro sweep \
+    --scenario steady-4x4 --engine meso-vec \
+    --seeds 1 2 --duration 300 --cache-dir "$CACHE_DIR"
+
+VEC_ROWS=$("$PYTHON" - "$STORE" <<'EOF'
+import sys
+
+from repro.results import ResultStore
+
+store = ResultStore(sys.argv[1])
+rows = store.query(engine="meso-vec", pattern="steady-4x4")
+print(len(rows))
+seeds = sorted(record.spec.seed for record in rows)
+assert seeds == [1, 2], f"expected one row per seed, got seeds {seeds}"
+for record in rows:
+    assert record.summary.delay_mode == "aggregate", record.summary
+EOF
+)
+[[ "$VEC_ROWS" == "2" ]] \
+    || { echo "smoke FAILED: meso-vec sweep left $VEC_ROWS rows (want 2)"; exit 1; }
+
+echo
 echo "smoke OK"

@@ -54,6 +54,14 @@ def _add_pool_options(parser: argparse.ArgumentParser) -> None:
             "per-spec JSON cache entries found there are imported once"
         ),
     )
+    parser.add_argument(
+        "--batch-size", type=int, default=16,
+        help=(
+            "maximum seed-batch width: same-cell/different-seed specs on "
+            "a batch-capable engine (meso-vec) are stepped as one batched "
+            "simulation (1 disables grouping; default 16)"
+        ),
+    )
 
 
 def _make_pool(args: argparse.Namespace):
@@ -63,6 +71,7 @@ def _make_pool(args: argparse.Namespace):
         workers=args.workers,
         cache_dir=args.cache_dir,
         store=getattr(args, "store", None),
+        batch_size=getattr(args, "batch_size", 16),
     )
 
 

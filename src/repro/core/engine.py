@@ -27,14 +27,16 @@ from __future__ import annotations
 from typing import (
     Callable,
     Dict,
+    List,
     Mapping,
     Optional,
     Protocol,
+    Sequence,
     TYPE_CHECKING,
     runtime_checkable,
 )
 
-from repro.metrics.collector import MetricsCollector
+from repro.metrics.collector import MetricsCollector, Summary
 from repro.metrics.utilization import UtilizationTracker
 from repro.model.queues import QueueObservation
 
@@ -43,11 +45,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 
 __all__ = [
     "SimulationEngine",
+    "BatchEngine",
     "ENGINE_NAMES",
     "register_engine",
     "engine_names",
     "provider_module",
     "build_engine",
+    "register_batch_engine",
+    "batch_engine_names",
+    "has_batch_engine",
+    "batch_provider_module",
+    "build_batch_engine",
 ]
 
 
@@ -84,14 +92,85 @@ class SimulationEngine(Protocol):
         ...
 
 
+@runtime_checkable
+class BatchEngine(Protocol):
+    """Contract of a backend that steps many replications at once.
+
+    A batch engine advances ``batch_size`` independent replications of
+    *one* scenario shape (same network/demand/turning, one seed per
+    replication) on a shared clock.  Replications never interact: the
+    results of replication ``b`` are independent of the batch size and
+    of the other seeds — which is what lets the orchestration pool fan
+    a batch back into the same per-seed result rows a serial sweep
+    would have produced.
+
+    Per-replication surfaces take or return batch-ordered sequences:
+    ``observations()[b]`` is replication ``b``'s ``Q(k)``, ``step``
+    takes one phase mapping per replication, and the introspection
+    methods return one value per replication.
+    """
+
+    time: float
+    batch_size: int
+    seeds: tuple
+
+    def observations(self) -> List[Dict[str, QueueObservation]]:
+        """Per-replication ``Q(k)`` maps at the current time."""
+        ...
+
+    def step(
+        self, dt: float, phases: Sequence[Mapping[str, int]]
+    ) -> None:
+        """Advance every replication by ``dt`` under its own phases."""
+        ...
+
+    def finalize(self) -> None:
+        """Close the metric books; must be safe to call repeatedly."""
+        ...
+
+    def summaries(self, duration: Optional[float] = None) -> List[Summary]:
+        """Per-replication run summaries, in batch order."""
+        ...
+
+    def utilization_of(self, replication: int) -> Dict[str, UtilizationTracker]:
+        """One replication's per-intersection utilization books."""
+        ...
+
+    def incoming_queue_total(self, road_id: str) -> Sequence[int]:
+        """Stop-line queue of one road, per replication."""
+        ...
+
+    def vehicles_in_network(self) -> Sequence[int]:
+        """Vehicles currently inside the network, per replication."""
+        ...
+
+    def backlog_size(self) -> Sequence[int]:
+        """Vehicles gated outside a full entry, per replication."""
+        ...
+
+
 #: Engine constructors by name (``builder(scenario) -> SimulationEngine``).
 _ENGINE_BUILDERS: Dict[str, Callable[["Scenario"], SimulationEngine]] = {}
+
+#: Batch-engine constructors (``builder(scenarios) -> BatchEngine``).
+_BATCH_ENGINE_BUILDERS: Dict[
+    str, Callable[[Sequence["Scenario"]], BatchEngine]
+] = {}
 
 #: Modules whose import registers a built-in engine.
 _BUILTIN_MODULES: Dict[str, str] = {
     "meso": "repro.meso.simulator",
     "meso-counts": "repro.meso.counts",
+    "meso-vec": "repro.meso.vectorized",
     "micro": "repro.micro.simulator",
+}
+
+#: Modules whose import registers a built-in *batch* engine.  A name
+#: listed here also appears in :data:`_BUILTIN_MODULES`: every batch
+#: engine doubles as a single-run engine (batch of one) so plain specs
+#: and the CLI can select it like any other backend.
+_BUILTIN_BATCH_MODULES: Dict[str, str] = {
+    "meso-vec": "repro.meso.vectorized",
 }
 
 #: The engine names the CLI offers (built-ins; plugins add more).
@@ -142,3 +221,63 @@ def build_engine(scenario: "Scenario", engine: str = "meso") -> SimulationEngine
             f"unknown engine {engine!r}; known: {list(engine_names())}"
         )
     return builder(scenario)
+
+
+# -- batch engines -----------------------------------------------------------
+
+
+def register_batch_engine(
+    name: str, builder: Callable[[Sequence["Scenario"]], BatchEngine]
+) -> None:
+    """Register a batch-engine constructor (``builder(scenarios) -> engine``).
+
+    ``scenarios`` is one :class:`Scenario` per replication — same
+    workload shape, one seed each.  A batch engine should also register
+    a plain single-run builder under the same name (batch of one), so
+    specs naming the engine work outside the batching pool path too.
+    """
+    _BATCH_ENGINE_BUILDERS[name] = builder
+
+
+def batch_engine_names() -> tuple:
+    """All currently selectable batch-engine names."""
+    return tuple(
+        sorted(set(_BATCH_ENGINE_BUILDERS) | set(_BUILTIN_BATCH_MODULES))
+    )
+
+
+def has_batch_engine(name: str) -> bool:
+    """Whether ``name`` can step whole seed-batches in one engine."""
+    return name in _BATCH_ENGINE_BUILDERS or name in _BUILTIN_BATCH_MODULES
+
+
+def batch_provider_module(name: str) -> Optional[str]:
+    """The module whose import registers batch engine ``name`` (if known)."""
+    builder = _BATCH_ENGINE_BUILDERS.get(name)
+    if builder is not None:
+        module = getattr(builder, "__module__", None)
+        return None if module == "__main__" else module
+    return _BUILTIN_BATCH_MODULES.get(name)
+
+
+def build_batch_engine(
+    scenarios: Sequence["Scenario"], engine: str = "meso-vec"
+) -> BatchEngine:
+    """Instantiate a batch engine over one scenario per replication."""
+    if not scenarios:
+        raise ValueError("a batch needs at least one scenario")
+    if (
+        engine not in _BATCH_ENGINE_BUILDERS
+        and engine in _BUILTIN_BATCH_MODULES
+    ):
+        import importlib
+
+        importlib.import_module(_BUILTIN_BATCH_MODULES[engine])
+    try:
+        builder = _BATCH_ENGINE_BUILDERS[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown batch engine {engine!r}; known: "
+            f"{list(batch_engine_names())}"
+        )
+    return builder(scenarios)

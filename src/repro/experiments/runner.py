@@ -20,7 +20,13 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 
 # Re-exported for backwards compatibility: the registry moved to the
 # core layer so engines can register without importing experiments.
-from repro.core.engine import SimulationEngine, build_engine, register_engine
+from repro.core.engine import (
+    BatchEngine,
+    SimulationEngine,
+    build_batch_engine,
+    build_engine,
+    register_engine,
+)
 from repro.control.factory import make_network_controller
 from repro.experiments.scenario import Scenario
 from repro.metrics.collector import Summary
@@ -29,7 +35,13 @@ from repro.metrics.utilization import UtilizationTracker
 from repro.model.phases import TRANSITION_PHASE_INDEX
 from repro.util.validation import check_positive
 
-__all__ = ["RunResult", "run_scenario", "build_engine", "register_engine"]
+__all__ = [
+    "RunResult",
+    "run_scenario",
+    "run_scenario_batch",
+    "build_engine",
+    "register_engine",
+]
 
 
 @dataclass
@@ -200,3 +212,99 @@ def run_scenario(
         vehicles_in_network=sim.vehicles_in_network(),
         backlog=sim.backlog_size(),
     )
+
+
+def run_scenario_batch(
+    scenarios: Sequence[Scenario],
+    controller: str = "util-bp",
+    controller_params: Optional[Dict[str, Any]] = None,
+    duration: Optional[float] = None,
+    engine: str = "meso-vec",
+    mini_slot: float = 1.0,
+    record_phases: Sequence[str] = (),
+    record_queues: Sequence[Tuple[str, str]] = (),
+    queue_sample_interval: float = 5.0,
+) -> list:
+    """Run many replications of one scenario shape in a single batch engine.
+
+    ``scenarios`` share the workload shape (same network, demand and
+    turning model — typically one :class:`Scenario` per seed); each
+    replication is driven by its own controller instance against its
+    own observations, exactly as :func:`run_scenario` would drive it
+    alone.  Returns one :class:`RunResult` per scenario, in order, and
+    — by the batch engines' parity contract — each result equals the
+    single-run result for that scenario and engine.
+    """
+    if not scenarios:
+        return []
+    check_positive("mini_slot", mini_slot)
+    check_positive("queue_sample_interval", queue_sample_interval)
+    first = scenarios[0]
+    horizon = first.default_duration if duration is None else float(duration)
+    check_positive("duration", horizon)
+
+    sim: BatchEngine = build_batch_engine(scenarios, engine)
+    controllers = [
+        make_network_controller(
+            controller, first.network, **(controller_params or {})
+        )
+        for _ in scenarios
+    ]
+    phase_traces = [
+        {node_id: PhaseTrace(node_id) for node_id in record_phases}
+        for _ in scenarios
+    ]
+    queue_traces = [
+        {
+            (node_id, road): QueueTrace(road_id=road)
+            for node_id, road in record_queues
+        }
+        for _ in scenarios
+    ]
+    next_queue_sample = 0.0
+
+    steps = int(round(horizon / mini_slot))
+    for _ in range(steps):
+        now = sim.time
+        observations = sim.observations()
+        decisions = [
+            network_controller.decide(obs)
+            for network_controller, obs in zip(controllers, observations)
+        ]
+        for rep_decisions, traces in zip(decisions, phase_traces):
+            for node_id, trace in traces.items():
+                trace.record(
+                    now,
+                    rep_decisions.get(node_id, TRANSITION_PHASE_INDEX),
+                )
+        if record_queues and now >= next_queue_sample:
+            road_totals = {
+                road: sim.incoming_queue_total(road)
+                for road in {road for _, road in record_queues}
+            }
+            for b, traces in enumerate(queue_traces):
+                for (node_id, road), trace in traces.items():
+                    trace.sample(now, int(road_totals[road][b]))
+            next_queue_sample = (
+                math.floor(now / queue_sample_interval) + 1
+            ) * queue_sample_interval
+        sim.step(mini_slot, decisions)
+
+    sim.finalize()
+    summaries = sim.summaries(horizon)
+    in_network = sim.vehicles_in_network()
+    backlog = sim.backlog_size()
+    return [
+        RunResult(
+            scenario_name=scenario.name,
+            controller_name=controller,
+            duration=horizon,
+            summary=summaries[b],
+            phase_traces=phase_traces[b],
+            queue_traces=queue_traces[b],
+            utilization=sim.utilization_of(b),
+            vehicles_in_network=int(in_network[b]),
+            backlog=int(backlog[b]),
+        )
+        for b, scenario in enumerate(scenarios)
+    ]

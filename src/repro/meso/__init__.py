@@ -16,11 +16,21 @@ run on :mod:`repro.micro`.
 aggregate count structures (engine name ``"meso-counts"``): identical
 queue-count trajectories under a shared seed, several times faster,
 with aggregate-only metrics — the backend of choice for large
-scenario×seed replication sweeps.
+heterogeneous sweeps.  :mod:`repro.meso.vectorized` lifts those count
+dynamics onto batched NumPy arrays (engine name ``"meso-vec"``):
+``B`` seed-replications of one scenario shape stepped at once,
+replication-exact against ``meso-counts`` — the backend of choice for
+mass seed-replication.
 """
 
 from repro.meso.counts import CountsSimulator
 from repro.meso.simulator import MesoSimulator
 from repro.meso.vehicle import MesoVehicle
+from repro.meso.vectorized import BatchCountsSimulator
 
-__all__ = ["CountsSimulator", "MesoSimulator", "MesoVehicle"]
+__all__ = [
+    "BatchCountsSimulator",
+    "CountsSimulator",
+    "MesoSimulator",
+    "MesoVehicle",
+]

@@ -1,0 +1,1231 @@
+"""The vectorized batch engine (``"meso-vec"``): whole seed-batches at once.
+
+:class:`~repro.meso.counts.CountsSimulator` made one replication ~6x
+cheaper than the reference engine, but a sweep still pays the full
+Python step loop once per seed: cost stays linear in
+``seeds x scenarios``.  Replication statistics (mean/std/CI across
+seeds) sharpen with the replication count, so the step loop itself is
+the scaling bottleneck.
+
+:class:`BatchCountsSimulator` lifts the identical Eq.-2
+store-and-forward count dynamics onto NumPy arrays of shape
+``(B, n_roads)`` / ``(B, n_movements)`` and advances ``B``
+*independent* replications of one scenario shape per step:
+
+* queue lengths, road occupancies, service credits, phase state and
+  the utilization books are batched arrays updated with a fixed number
+  of vectorized operations per mini-slot (independent of ``B``);
+* arrival counts are pulled ahead in 64-step windows through each
+  replication's own :class:`~repro.model.arrivals.PoissonArrivals`
+  (see below), so the per-step cost of demand sampling is one array
+  slice;
+* spillback sensing is a masked array comparison
+  (``occupancy >= capacity``) instead of a maintained set;
+* per-replication aggregate metrics are integrated by a
+  :class:`~repro.metrics.aggregate.BatchAggregateMetricsCollector`.
+
+**Batch RNG layout.**  Replication ``b`` owns the full per-seed stream
+stack a serial run would have: ``RngStreams(seeds[b])`` with the same
+stream names created in the same order (``routing`` first, then
+``arrivals/<road>`` per demand entry).  Nothing is ever drawn across
+replications from a shared generator, which is what makes results
+independent of the batch size: replication ``b`` of a ``B=16`` batch
+draws exactly what it would draw alone.
+
+**Exact sequential-serve parity.**  Within one mini-slot the reference
+engines serve movements *sequentially* — a movement served earlier can
+fill (or free) a downstream road that a movement served later reads
+through its ``space`` term.  Naive whole-array vectorization would
+evaluate every movement against pre-step occupancy and diverge under
+congestion.  Instead, the constructor partitions the movements into
+*stages* by a static read-after-write hazard analysis: movement ``m``
+is placed after every potentially co-active movement that precedes it
+in the reference serve order and writes the occupancy ``m`` reads.
+Stages execute in order, each fully vectorized over
+``(B, stage width)``; within a stage no movement reads a location an
+earlier same-stage movement writes, and the remaining writes commute —
+so the staged result equals the sequential result *exactly*, spillback
+included.
+
+**Contract.**  ``meso-vec`` at ``B=1`` is step-for-step identical to
+``meso-counts`` under the same seed (observations, occupancies,
+utilization books, entered/left and the waiting-time integral), and
+replication results are independent of ``B`` — the parity suite in
+``tests/test_engine_parity.py`` asserts both.  Like ``meso-counts`` it
+reports ``delay_mode="aggregate"`` and supports only the paper's
+default ``dedicated`` lane policy (``lane_policy="mixed"`` is
+rejected: shared-lane head-of-line blocking is inherently
+per-vehicle).  The batch steps on a *constant* mini-slot: ``dt`` is
+fixed by the first ``step`` call (the pulled-ahead arrival windows are
+drawn for that grid; a varying ``dt`` would consume draws a serial run
+would not have made).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.engine import register_batch_engine, register_engine
+from repro.metrics.aggregate import BatchAggregateMetricsCollector
+from repro.metrics.collector import Summary
+from repro.metrics.utilization import UtilizationTracker
+from repro.model.arrivals import ArrivalSchedule, PoissonArrivals
+from repro.model.network import BOUNDARY, Network
+from repro.model.phases import TRANSITION_PHASE_INDEX
+from repro.model.queues import QueueObservation
+from repro.model.routing import RouteSampler, TurningProbabilities
+from repro.util.rng import RngStreams
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["BatchCountsSimulator", "SingleReplicationEngine"]
+
+#: Mini-slots of arrival counts pulled ahead per refill (a multiple of
+#: the PoissonArrivals pre-draw batch, so a refill is mostly slicing).
+ARRIVAL_WINDOW = 128
+
+
+class BatchCountsSimulator:
+    """``B`` independent counts-based replications stepped as arrays.
+
+    Accepts the same plant parameters as
+    :class:`~repro.meso.counts.CountsSimulator` with ``seeds`` (one per
+    replication) in place of ``seed``; see the module docstring for the
+    parity contract.
+    """
+
+    OUT_QUEUE_MODES = ("spillback", "halting", "occupancy")
+
+    def __init__(
+        self,
+        network: Network,
+        demand: Mapping[str, ArrivalSchedule],
+        turning: TurningProbabilities,
+        seeds: Sequence[int] = (0,),
+        travel_time: Optional[float] = None,
+        startup_lost: float = 2.0,
+        sensing_horizon: float = 2.0,
+        saturation_headway: Optional[float] = 1.3,
+        out_queue_mode: str = "spillback",
+        lane_policy: str = "dedicated",
+    ):
+        self.network = network
+        self.time = 0.0
+        self.seeds = tuple(int(s) for s in seeds)
+        if not self.seeds:
+            raise ValueError("seeds must name at least one replication")
+        B = len(self.seeds)
+        self.batch_size = B
+        if travel_time is not None:
+            check_non_negative("travel_time", travel_time)
+        check_non_negative("startup_lost", startup_lost)
+        self._startup_lost = startup_lost
+        check_non_negative("sensing_horizon", sensing_horizon)
+        self._sensing_horizon = sensing_horizon
+        if saturation_headway is not None:
+            check_positive("saturation_headway", saturation_headway)
+        if out_queue_mode not in self.OUT_QUEUE_MODES:
+            raise ValueError(
+                f"out_queue_mode must be one of {self.OUT_QUEUE_MODES}, "
+                f"got {out_queue_mode!r}"
+            )
+        self._out_queue_mode = out_queue_mode
+        if lane_policy != "dedicated":
+            raise ValueError(
+                f"meso-vec supports only lane_policy='dedicated', got "
+                f"{lane_policy!r} (the mixed shared-FIFO lane is inherently "
+                f"per-vehicle; use the 'meso' engine)"
+            )
+
+        # -- per-replication RNG stacks (serial stream layout & order) ------
+        entry_set = set(network.entry_roads())
+        unknown = set(demand) - entry_set
+        if unknown:
+            raise ValueError(
+                f"demand declared on non-entry roads: {sorted(unknown)}"
+            )
+        self._entry_ids: List[str] = list(demand)
+        self._routers: List[RouteSampler] = []
+        self._arrivals: List[List[PoissonArrivals]] = []
+        for seed in self.seeds:
+            streams = RngStreams(seed)
+            self._routers.append(
+                RouteSampler(network, turning, streams.get("routing"))
+            )
+            self._arrivals.append(
+                [
+                    PoissonArrivals(demand[road], streams.get(f"arrivals/{road}"))
+                    for road in self._entry_ids
+                ]
+            )
+        # Routes are static per network and sampling happens before the
+        # cache lookup, so replications can share one route cache: the
+        # cached walks are deterministic and draw nothing.
+        shared_routes = self._routers[0]._route_cache
+        for router in self._routers[1:]:
+            router._route_cache = shared_routes
+
+        # -- static road tables ---------------------------------------------
+        road_ids = list(network.roads)
+        self._road_ids = road_ids
+        road_index = {road: i for i, road in enumerate(road_ids)}
+        R = len(road_ids)
+        self._caps = np.array(
+            [network.roads[r].capacity for r in road_ids], dtype=np.int64
+        )
+        is_exit_road = np.array(
+            [network.road_destination[r] == BOUNDARY for r in road_ids]
+        )
+        self._transit_time = np.array(
+            [
+                travel_time
+                if travel_time is not None
+                else network.roads[r].free_flow_time
+                for r in road_ids
+            ],
+            dtype=np.float64,
+        )
+
+        # -- movement indexing (node-major, reference dict order) -----------
+        node_ids = list(network.intersections)
+        self._node_ids = node_ids
+        self._intersections = [network.intersections[n] for n in node_ids]
+        N = len(node_ids)
+        movement_keys: List[Tuple[str, str]] = []
+        node_of: List[int] = []
+        node_starts: List[int] = [0]
+        gid_of: Dict[Tuple[int, Tuple[str, str]], int] = {}
+        for n, inter in enumerate(self._intersections):
+            for key in inter.movements:
+                gid_of[(n, key)] = len(movement_keys)
+                movement_keys.append(key)
+                node_of.append(n)
+            node_starts.append(len(movement_keys))
+        M = len(movement_keys)
+        self._movement_keys = movement_keys
+        self._node_of = np.array(node_of, dtype=np.int64)
+        self._node_starts = np.array(node_starts[:-1], dtype=np.int64)
+        saturation_rate = (
+            None if saturation_headway is None else 1.0 / saturation_headway
+        )
+        in_idx = np.empty(M, dtype=np.int64)
+        out_idx = np.empty(M, dtype=np.int64)
+        rate = np.empty(M, dtype=np.float64)
+        for n, inter in enumerate(self._intersections):
+            for key, movement in inter.movements.items():
+                gid = gid_of[(n, key)]
+                in_idx[gid] = road_index[movement.in_road]
+                out_idx[gid] = road_index[movement.out_road]
+                rate[gid] = (
+                    movement.service_rate
+                    if saturation_rate is None
+                    else saturation_rate
+                )
+        self._in_idx = in_idx
+        self._out_idx = out_idx
+        self._rate = rate
+        self._m_is_exit = is_exit_road[out_idx]
+        self._exit_cols = np.nonzero(self._m_is_exit)[0]
+        self._m_out_cap = self._caps[out_idx]
+        self._m_out_ttime = self._transit_time[out_idx]
+
+        # -- phase tables ----------------------------------------------------
+        max_phase = np.empty(N, dtype=np.int64)
+        offsets = np.empty(N, dtype=np.int64)
+        total = 0
+        for n, inter in enumerate(self._intersections):
+            offsets[n] = total
+            max_phase[n] = max(p.index for p in inter.phases)
+            total += int(max_phase[n]) + 1
+        self._phase_offsets = offsets
+        self._max_phase = max_phase
+        rate_sum = np.zeros(total, dtype=np.float64)
+        valid = np.zeros(total, dtype=bool)
+        valid[offsets] = True  # the transition phase is always applicable
+        phase_pos = np.zeros(M, dtype=np.int64)
+        phases_of: List[set] = [set() for _ in range(M)]
+        for n, inter in enumerate(self._intersections):
+            for phase in inter.phases:
+                g = int(offsets[n]) + phase.index
+                valid[g] = True
+                rate_sum[g] = sum(m.service_rate for m in phase.movements)
+                seen_out = set()
+                for pos, movement in enumerate(phase.movements):
+                    if movement.out_road in seen_out:
+                        raise ValueError(
+                            f"meso-vec: phase c{phase.index} at "
+                            f"{inter.node_id} activates two movements onto "
+                            f"{movement.out_road!r}; the push order of a "
+                            f"shared outgoing road is not batchable"
+                        )
+                    seen_out.add(movement.out_road)
+                    gid = gid_of[(n, movement.key)]
+                    if phases_of[gid]:
+                        # The stage analysis orders same-node co-active
+                        # movements by their position in the one phase
+                        # containing them; two memberships would make
+                        # that position ambiguous.
+                        raise ValueError(
+                            f"meso-vec: movement {movement.key} at "
+                            f"{inter.node_id} appears in more than one "
+                            f"phase; use the 'meso-counts' engine for this "
+                            f"network"
+                        )
+                    phase_pos[gid] = pos
+                    phases_of[gid].add(phase.index)
+        self._rate_sum = rate_sum
+        self._valid_phase = valid
+        #: The one phase containing each movement (-1: never activated);
+        #: activity is then one equality against the node's applied phase.
+        self._m_phase = np.array(
+            [next(iter(p)) if p else -1 for p in phases_of], dtype=np.int64
+        )
+        self._m_nonexit = ~self._m_is_exit
+
+        # -- hazard staging (see the module docstring) ----------------------
+        self._stages = self._build_stages(phases_of, phase_pos)
+
+        # -- promote / observation plans ------------------------------------
+        lanes_of_road: Dict[int, List[int]] = {}
+        gid_by_out: Dict[int, Dict[str, int]] = {}
+        key_by_out: Dict[int, Dict[str, Tuple[str, str]]] = {}
+        node_of_in_road: Dict[int, int] = {}
+        for gid, (in_road, out_road) in enumerate(movement_keys):
+            ri = int(in_idx[gid])
+            lanes_of_road.setdefault(ri, []).append(gid)
+            gid_by_out.setdefault(ri, {})[out_road] = gid
+            key_by_out.setdefault(ri, {})[out_road] = movement_keys[gid]
+            node_of_in_road[ri] = int(self._node_of[gid])
+        self._gid_by_out = gid_by_out
+        self._key_by_out = key_by_out
+        self._node_of_in_road = node_of_in_road
+        self._gids_of_road = {
+            ri: np.array(gids, dtype=np.int64)
+            for ri, gids in lanes_of_road.items()
+        }
+        # Per node: keys tuple, movement slice, shared zero/capacity
+        # out-road dicts and the out-road static rows.
+        self._obs_plan = []
+        for n, inter in enumerate(self._intersections):
+            out_static = [
+                (r, road_index[r], int(self._caps[road_index[r]]),
+                 bool(is_exit_road[road_index[r]]))
+                for r in inter.out_roads
+            ]
+            self._obs_plan.append(
+                (
+                    node_ids[n],
+                    tuple(inter.movements),
+                    int(node_starts[n]),
+                    int(node_starts[n + 1]),
+                    {r: 0 for r, _, _, _ in out_static},
+                    {r: c for r, _, c, _ in out_static},
+                    out_static,
+                )
+            )
+        self._entry_idx = np.array(
+            [road_index[r] for r in self._entry_ids], dtype=np.int64
+        )
+
+        # -- dynamic state ---------------------------------------------------
+        self._occ = np.zeros((B, R), dtype=np.int64)
+        self._queue_len = np.zeros((B, M), dtype=np.int64)
+        self._credit = np.zeros((B, M), dtype=np.float64)
+        self._head_ready = np.full((B, R), np.inf, dtype=np.float64)
+        self._active_phase = np.full((B, N), -1, dtype=np.int64)
+        self._phase_started = np.zeros((B, N), dtype=np.float64)
+        self._green_time = np.zeros((B, N), dtype=np.float64)
+        self._amber_time = np.zeros((B, N), dtype=np.float64)
+        self._service_capacity = np.zeros((B, N), dtype=np.float64)
+        self._vehicles_served = np.zeros((B, N), dtype=np.int64)
+        self._wasted_green_slots = np.zeros((B, N), dtype=np.int64)
+        self._green_slots = np.zeros((B, N), dtype=np.int64)
+        self._queued_total = np.zeros(B, dtype=np.int64)
+        # Unit representation: a queued/transiting unit is its route's
+        # next-hop map (road -> following road, shared per cached
+        # route) — grid routes never revisit a road, so the map alone
+        # replaces the reference engines' ``(route, leg)`` cursor and a
+        # hop allocates nothing.  Transit FIFOs hold *cohorts*
+        # ``(ready_time, [unit, ...])``: every push onto one road
+        # within a mini-slot shares the same ready time, so cohorts are
+        # exactly the reference FIFO content grouped by slot, in the
+        # reference push order.
+        self._route_nexts: Dict[int, Dict[str, str]] = {}
+        self._lanes: List[List[deque]] = [
+            [deque() for _ in range(M)] for _ in range(B)
+        ]
+        self._transit: List[List[deque]] = [
+            [deque() for _ in range(R)] for _ in range(B)
+        ]
+        self._backlogs: List[List[deque]] = [
+            [deque() for _ in self._entry_ids] for _ in range(B)
+        ]
+        self._backlog_len = np.zeros((B, len(self._entry_ids)), dtype=np.int64)
+        #: (transit FIFO, lane list, out-road -> movement gid, road id)
+        #: per (replication, road): promote unpacks one precomputed
+        #: tuple per due road instead of chasing nested lookups.
+        self._promote_plan = [
+            [
+                (
+                    self._transit[b][ri],
+                    self._lanes[b],
+                    gid_by_out.get(ri),
+                    road_ids[ri],
+                )
+                for ri in range(R)
+            ]
+            for b in range(B)
+        ]
+        #: (backlog FIFO, transit FIFO, router) per (replication, entry).
+        self._inject_plan = [
+            [
+                (
+                    self._backlogs[b][e],
+                    self._transit[b][int(self._entry_idx[e])],
+                    self._routers[b],
+                )
+                for e in range(len(self._entry_ids))
+            ]
+            for b in range(B)
+        ]
+        #: (lane FIFO, out transit FIFO | None for exits, out road index)
+        #: per (replication, movement) — the serve transfer loop unpacks
+        #: one tuple per served movement.
+        self._transfer_plan = [
+            [
+                (
+                    self._lanes[b][m],
+                    None
+                    if self._m_is_exit[m]
+                    else self._transit[b][int(out_idx[m])],
+                    int(out_idx[m]),
+                )
+                for m in range(M)
+            ]
+            for b in range(B)
+        ]
+        self.collector = BatchAggregateMetricsCollector(B)
+        self._finalized = False
+        # Constant-dt contract state + pulled-ahead arrival window.
+        self._dt: Optional[float] = None
+        self._accrual: Optional[np.ndarray] = None
+        self._bank: Optional[np.ndarray] = None
+        self._window: Optional[np.ndarray] = None
+        self._window_pos = 0
+
+    # -- static hazard staging ----------------------------------------------
+
+    def _build_stages(
+        self, phases_of: List[set], phase_pos: np.ndarray
+    ) -> List[np.ndarray]:
+        """Partition movements into exact-parity vectorization stages."""
+        node_of = self._node_of
+        in_idx = self._in_idx
+        out_idx = self._out_idx
+        is_exit = self._m_is_exit
+        M = len(phases_of)
+        # Who writes a road's occupancy when served: every movement
+        # decrements its in-road; non-exit movements increment their
+        # out-road.  Movements in no phase never serve, never write.
+        writers: Dict[int, List[int]] = {}
+        for gid in range(M):
+            if not phases_of[gid]:
+                continue
+            writers.setdefault(int(in_idx[gid]), []).append(gid)
+            if not is_exit[gid]:
+                writers.setdefault(int(out_idx[gid]), []).append(gid)
+        stage = [0] * M
+        order = sorted(
+            range(M), key=lambda g: (int(node_of[g]), int(phase_pos[g]), g)
+        )
+        for gid in order:
+            if is_exit[gid] or not phases_of[gid]:
+                continue  # reads no occupancy / never active: stage 0
+            level = 0
+            for writer in writers.get(int(out_idx[gid]), ()):
+                if writer == gid:
+                    continue
+                if node_of[writer] == node_of[gid]:
+                    # Same node: co-active only within one phase, and
+                    # then ordered by position in that phase.
+                    if not (phases_of[writer] & phases_of[gid]):
+                        continue
+                    if phase_pos[writer] >= phase_pos[gid]:
+                        continue
+                elif node_of[writer] > node_of[gid]:
+                    continue  # served later: its writes are not yet seen
+                if stage[writer] >= level:
+                    level = stage[writer] + 1
+            stage[gid] = level
+        depth = max(stage) + 1 if M else 1
+        stages = [
+            np.array([g for g in range(M) if stage[g] == s], dtype=np.int64)
+            for s in range(depth)
+        ]
+        return [ids for ids in stages if len(ids)]
+
+    # -- observation ---------------------------------------------------------
+
+    def observations(self) -> List[Dict[str, QueueObservation]]:
+        """Per-replication ``Q(k)`` maps at the current time."""
+        now = self.time
+        deadline = now + self._sensing_horizon
+        trusted = QueueObservation.trusted
+        spillback = self._out_queue_mode == "spillback"
+        if spillback:
+            full = self._occ >= self._caps[None, :]
+            rep_any_full = full.any(axis=1)
+        movement_dicts: List[List[Dict[Tuple[str, str], int]]] = []
+        for b in range(self.batch_size):
+            row = self._queue_len[b].tolist()
+            movement_dicts.append(
+                [dict(zip(keys, row[lo:hi]))
+                 for _, keys, lo, hi, _, _, _ in self._obs_plan]
+            )
+        sensed = self._head_ready <= deadline
+        if sensed.any():
+            node_of_in_road = self._node_of_in_road
+            key_by_out = self._key_by_out
+            road_ids = self._road_ids
+            for b, ri in np.argwhere(sensed).tolist():
+                queues = movement_dicts[b][node_of_in_road[ri]]
+                keys = key_by_out[ri]
+                road_id = road_ids[ri]
+                for ready, units in self._transit[b][ri]:
+                    if ready > deadline:
+                        break
+                    for unit in units:
+                        queues[keys[unit[road_id]]] += 1
+        results: List[Dict[str, QueueObservation]] = []
+        for b in range(self.batch_size):
+            per_node: Dict[str, QueueObservation] = {}
+            rep_dicts = movement_dicts[b]
+            congested = spillback and bool(rep_any_full[b])
+            occ_row = self._occ[b].tolist() if congested else None
+            for n, (node_id, _, _, _, zeros, out_caps, out_static) in (
+                enumerate(self._obs_plan)
+            ):
+                if spillback and not congested:
+                    out_queues: Dict[str, int] = zeros
+                elif spillback:
+                    out_queues = {}
+                    for road_id, ri, cap, road_is_exit in out_static:
+                        occ = 0 if road_is_exit else occ_row[ri]
+                        out_queues[road_id] = occ if occ >= cap else 0
+                else:
+                    out_queues = {
+                        road_id: self._sensed_out_queue(b, ri, road_is_exit)
+                        for road_id, ri, _, road_is_exit in out_static
+                    }
+                per_node[node_id] = trusted(
+                    now, rep_dicts[n], out_queues, out_caps
+                )
+            results.append(per_node)
+        return results
+
+    def _sensed_out_queue(self, b: int, ri: int, road_is_exit: bool) -> int:
+        """``q_{i'}`` under the non-default out-queue sensing modes."""
+        if road_is_exit:
+            return 0
+        if self._out_queue_mode == "occupancy":
+            return int(self._occ[b, ri])
+        if self._out_queue_mode == "halting":
+            gids = self._gids_of_road.get(ri)
+            if gids is None:
+                return 0
+            return int(self._queue_len[b, gids].sum())
+        occupancy = int(self._occ[b, ri])
+        return occupancy if occupancy >= int(self._caps[ri]) else 0
+
+    # -- stepping ------------------------------------------------------------
+
+    def step(
+        self,
+        dt: float,
+        phases: Union[np.ndarray, Sequence[Mapping[str, int]]],
+    ) -> None:
+        """Advance every replication by ``dt`` under its own phases.
+
+        ``phases`` is one mapping (node id -> applied phase index, 0 =
+        amber, missing intersections amber) per replication, or an
+        already-encoded ``(B, n_nodes)`` integer array (an ``(n_nodes,)``
+        row is broadcast to every replication).
+        """
+        check_positive("dt", dt)
+        if self._finalized:
+            raise RuntimeError("simulator already finalized")
+        if self._dt is None:
+            self._dt = float(dt)
+            self._accrual = self._rate * dt
+            self._bank = np.maximum(self._accrual, 1.0)
+        elif dt != self._dt:
+            raise ValueError(
+                f"meso-vec steps on a constant mini-slot: got dt={dt} after "
+                f"dt={self._dt} (the pulled-ahead arrival windows are drawn "
+                f"on the first step's grid)"
+            )
+        phases_arr = self._encode_phases(phases)
+        now = self.time
+        self._promote(now)
+        if not np.array_equal(phases_arr, self._active_phase):
+            self._apply_phase_switch(dt, phases_arr, now)
+        self._serve(dt, now)
+        self._inject(dt, now)
+        self.time = now + dt
+        collector = self.collector
+        collector.record_interval(
+            dt,
+            self._queued_total + self._backlog_len.sum(axis=1),
+            # Vehicles inside the network == total road occupancy (the
+            # reference engines maintain this count separately; here it
+            # is one row sum).
+            self._occ.sum(axis=1),
+        )
+        collector.advance(self.time)
+
+    def _encode_phases(
+        self, phases: Union[np.ndarray, Sequence[Mapping[str, int]]]
+    ) -> np.ndarray:
+        B, N = self.batch_size, len(self._node_ids)
+        if isinstance(phases, np.ndarray):
+            if phases.shape == (N,):
+                return np.broadcast_to(phases, (B, N))
+            if phases.shape != (B, N):
+                raise ValueError(
+                    f"phase array must have shape ({B}, {N}) or ({N},), "
+                    f"got {phases.shape}"
+                )
+            return phases
+        if len(phases) != B:
+            raise ValueError(
+                f"need one phase mapping per replication ({B}), got "
+                f"{len(phases)}"
+            )
+        node_ids = self._node_ids
+        amber = TRANSITION_PHASE_INDEX
+        rows = [
+            [mapping.get(node_id, amber) for node_id in node_ids]
+            for mapping in phases
+        ]
+        return np.array(rows, dtype=np.int64)
+
+    def _promote(self, now: float) -> None:
+        """Move transit units that reached the stop line into their lanes.
+
+        Per-unit deque traffic stays in Python (a handful of units per
+        slot); the batched array bookkeeping is committed with one
+        scatter-add per array instead of per-unit scalar writes.
+        """
+        head_ready = self._head_ready
+        due = head_ready <= now
+        if not due.any():
+            return
+        inc_flat: List[int] = []
+        inc_append = inc_flat.append
+        pair_b: List[int] = []
+        pair_n: List[int] = []
+        head_b: List[int] = []
+        head_r: List[int] = []
+        head_v: List[float] = []
+        inf = np.inf
+        M = len(self._movement_keys)
+        plans = self._promote_plan
+        dbs, drs = np.nonzero(due)
+        for b, ri in zip(dbs.tolist(), drs.tolist()):
+            transit, lanes, gids, road_id = plans[b][ri]
+            base = b * M
+            promoted = 0
+            while transit and transit[0][0] <= now:
+                units = transit.popleft()[1]
+                promoted += len(units)
+                for unit in units:
+                    gid = gids[unit[road_id]]
+                    lanes[gid].append(unit)
+                    inc_append(base + gid)
+            if promoted:
+                pair_b.append(b)
+                pair_n.append(promoted)
+            head_b.append(b)
+            head_r.append(ri)
+            head_v.append(transit[0][0] if transit else inf)
+        head_ready[head_b, head_r] = head_v
+        if inc_flat:
+            np.add.at(self._queue_len.reshape(-1), inc_flat, 1)
+            np.add.at(self._queued_total, pair_b, pair_n)
+
+    def _apply_phase_switch(
+        self, dt: float, phases_arr: np.ndarray, now: float
+    ) -> None:
+        """Validate a changed phase pattern and rebuild the serve cache.
+
+        Phases hold for many consecutive mini-slots (green dwells), so
+        everything derived from the pattern alone — amber/green masks,
+        per-slot tracker increments, the active/eligible movement masks
+        — is computed once per switch and replayed until the pattern
+        changes again.
+        """
+        node_of = self._node_of
+        # Phase validation: an unknown non-amber index raises the same
+        # KeyError the reference engine's phase lookup would.
+        in_range = (phases_arr >= 0) & (phases_arr <= self._max_phase[None, :])
+        gp = self._phase_offsets[None, :] + np.where(in_range, phases_arr, 0)
+        valid = in_range & self._valid_phase[gp]
+        if not valid.all():
+            b, n = np.argwhere(~valid)[0]
+            self._intersections[n].phase_by_index(int(phases_arr[b, n]))
+            raise AssertionError("phase_by_index must raise for invalid phases")
+        switched = phases_arr != self._active_phase
+        self._active_phase = phases_arr.copy()
+        self._phase_started = np.where(switched, now, self._phase_started)
+        # Phase switch: queue discharge restarts, unused service credit
+        # must not carry over.
+        self._credit[switched[:, node_of]] = 0.0
+        green = phases_arr != TRANSITION_PHASE_INDEX
+        self._c_green = green
+        self._c_green_node_of = green[:, node_of]
+        self._c_amber_dt = dt * ~green
+        self._c_green_dt = dt * green
+        self._c_green_int = green.astype(np.int64)
+        self._c_capacity_dt = (self._rate_sum[gp] * dt) * green
+        self._c_active = (
+            phases_arr[:, node_of] == self._m_phase[None, :]
+        ) & self._c_green_node_of
+        # After this wall-clock point no node can still be inside its
+        # start-up window, so the eligibility mask equals the active
+        # mask until the next switch.
+        self._startup_until = float(
+            self._phase_started.max() + self._startup_lost
+        )
+        # Shared-pattern compression: when every replication shows the
+        # same (all-green) pattern — open-loop plans, fixed-time drives,
+        # the CI bench — the eligible set is one column subset shared
+        # by the whole batch, and serve can run on (B, n_active) slices
+        # instead of (B, n_movements) arrays.
+        self._c_cols = None
+        row0 = phases_arr[0]
+        if (row0 != TRANSITION_PHASE_INDEX).all() and (
+            phases_arr == row0[None, :]
+        ).all():
+            cols = np.nonzero(self._c_active[0])[0]
+            if len(cols):
+                self._c_cols = cols
+                self._cc_accrual = self._accrual[cols]
+                self._cc_bank = self._bank[cols]
+                self._cc_out_cap = self._m_out_cap[cols]
+                self._cc_out_idx = self._out_idx[cols]
+                self._cc_in_idx = self._in_idx[cols]
+                self._cc_nonexit = self._m_nonexit[cols]
+                self._cc_is_exit = self._m_is_exit[cols]
+                self._cc_node_of = node_of[cols]
+
+    def _serve(self, dt: float, now: float) -> None:
+        """One vectorized serve pass (reference arithmetic, exact).
+
+        The fast path evaluates every movement against pre-step
+        occupancy in one shot.  That equals the sequential reference
+        result whenever no movement's downstream ``space`` binds
+        (``space >= min(credit value, queue)`` everywhere): within a
+        slot, occupancy a movement reads can only *drop* before its
+        turn (its only co-active inflow writer would share its out-road
+        inside one phase, which the constructor rejects), so a
+        non-binding pre-step space stays non-binding in every
+        sequential order.  If any space binds anywhere, the staged
+        exact path replays the reference order.
+        """
+        B = self.batch_size
+        node_of = self._node_of
+        self._amber_time += self._c_amber_dt
+        self._green_time += self._c_green_dt
+        self._green_slots += self._c_green_int
+        self._service_capacity += self._c_capacity_dt
+        green = self._c_green
+        if now >= self._startup_until:
+            if self._c_cols is not None and self._serve_shared(now):
+                return
+            serving = green
+            eligible = self._c_active
+        else:
+            in_startup = (now - self._phase_started) < self._startup_lost
+            serving = green & ~in_startup
+            self._wasted_green_slots += green & in_startup
+            eligible = self._c_active & ~in_startup[:, node_of]
+        value = self._credit + self._accrual
+        queue_len = self._queue_len
+        occ = self._occ
+        bound_cq = np.minimum(value, queue_len)
+        space = self._m_out_cap[None, :] - occ[:, self._out_idx]
+        binding = eligible & self._m_nonexit[None, :] & (space < bound_cq)
+        if not binding.any():
+            # Fast path: space never binds, so every limit is the
+            # credit/queue bound and space > 0 wherever a queue waits.
+            limit_total = bound_cq.astype(np.int64)
+            limit_total *= eligible
+            servable = eligible & (queue_len > 0)
+            sb, sm = np.nonzero(limit_total)
+            vals = limit_total[sb, sm]
+            if len(sb):
+                np.add.at(occ, (sb, self._in_idx[sm]), -vals)
+                ne = self._m_nonexit[sm]
+                if ne.any():
+                    np.add.at(
+                        occ, (sb[ne], self._out_idx[sm[ne]]), vals[ne]
+                    )
+        else:
+            limit_total, servable = self._serve_staged(
+                eligible, value, queue_len, occ
+            )
+            sb, sm = np.nonzero(limit_total)
+            vals = limit_total[sb, sm]
+        # Bank at most one slot of unused service credit (reference
+        # rule), for exactly the movements the reference loop touched.
+        np.copyto(
+            self._credit,
+            np.minimum(value - limit_total, self._bank),
+            where=eligible,
+        )
+        servable_node = np.add.reduceat(
+            servable.view(np.int8), self._node_starts, axis=1
+        )
+        served_node = np.zeros((B, len(self._node_ids)), dtype=np.int64)
+        if len(sb):
+            np.add.at(served_node, (sb, node_of[sm]), vals)
+        self._vehicles_served += served_node
+        self._wasted_green_slots += (
+            serving & (served_node == 0) & (servable_node == 0)
+        )
+        if len(sb):
+            np.subtract.at(queue_len, (sb, sm), vals)
+            np.subtract.at(self._queued_total, sb, vals)
+            exit_mask = self._m_is_exit[sm]
+            if exit_mask.any():
+                np.add.at(
+                    self.collector.vehicles_left,
+                    sb[exit_mask],
+                    vals[exit_mask],
+                )
+            self._transfer_units(sb, sm, vals, now)
+
+    def _serve_shared(self, now: float) -> bool:
+        """Serve on compressed shared-pattern columns; False = fall back.
+
+        Only runs past every start-up window under one all-green
+        pattern shared by the batch, so the active columns *are* the
+        eligible set.  A second, per-step compression then drops the
+        active columns no replication can serve or accrue on — empty
+        queue everywhere and credit already saturated at the bank
+        (``min(bank + accrual, bank) == bank``: skipping is exact).
+        Returns ``False`` (having written nothing) when some downstream
+        space binds — the caller then takes the general exact path.
+        """
+        B = self.batch_size
+        N = len(self._node_ids)
+        cols = self._c_cols
+        occ = self._occ
+        queue_len = self._queue_len
+        queued = queue_len[:, cols]
+        credit_cols = self._credit[:, cols]
+        live = (queued > 0).any(axis=0) | (
+            credit_cols < self._cc_bank
+        ).any(axis=0)
+        if not live.any():
+            # Nothing queued, every credit saturated: every green node
+            # wastes its slot (reference: served 0, nothing servable).
+            self._wasted_green_slots += 1
+            return True
+        sub = np.nonzero(live)[0]
+        full_width = len(sub) == len(cols)
+        if not full_width:
+            queued = queued[:, sub]
+            credit_cols = credit_cols[:, sub]
+        cols2 = cols if full_width else cols[sub]
+        accrual = self._cc_accrual[sub]
+        nonexit = self._cc_nonexit[sub]
+        value = credit_cols + accrual
+        bound = np.minimum(value, queued)
+        space = self._cc_out_cap[sub][None, :] - occ[:, self._cc_out_idx[sub]]
+        if (nonexit[None, :] & (space < bound)).any():
+            return False
+        limit = bound.astype(np.int64)
+        sb, sl = np.nonzero(limit)
+        vals = limit[sb, sl]
+        in_idx2 = self._cc_in_idx[sub]
+        out_idx2 = self._cc_out_idx[sub]
+        if len(sb):
+            np.add.at(occ, (sb, in_idx2[sl]), -vals)
+            ne = nonexit[sl]
+            if ne.any():
+                np.add.at(occ, (sb[ne], out_idx2[sl[ne]]), vals[ne])
+        self._credit[:, cols2] = np.minimum(
+            value - limit, self._cc_bank[sub]
+        )
+        node_of_cols2 = self._cc_node_of[sub]
+        served_node = np.zeros((B, N), dtype=np.int64)
+        if len(sb):
+            np.add.at(served_node, (sb, node_of_cols2[sl]), vals)
+            self._vehicles_served += served_node
+        servable_node = np.zeros((B, N), dtype=bool)
+        qb, ql = np.nonzero(queued)
+        if len(qb):
+            servable_node[qb, node_of_cols2[ql]] = True
+        self._wasted_green_slots += (served_node == 0) & ~servable_node
+        if len(sb):
+            sm = cols2[sl]
+            np.subtract.at(queue_len, (sb, sm), vals)
+            np.subtract.at(self._queued_total, sb, vals)
+            exit_mask = self._cc_is_exit[sub][sl]
+            if exit_mask.any():
+                left_b = sb[exit_mask]
+                np.add.at(self.collector.vehicles_left, left_b, vals[exit_mask])
+            self._transfer_units(sb, sm, vals, now)
+        return True
+
+    def _serve_staged(
+        self,
+        eligible: np.ndarray,
+        value: np.ndarray,
+        queue_len: np.ndarray,
+        occ: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The exact staged pass for congested slots (see module doc)."""
+        B = self.batch_size
+        M = len(self._movement_keys)
+        limit_total = np.zeros((B, M), dtype=np.int64)
+        servable = np.zeros((B, M), dtype=bool)
+        for ids in self._stages:
+            el = eligible[:, ids]
+            if not el.any():
+                continue
+            queued = queue_len[:, ids]
+            bound = np.minimum(value[:, ids], queued)
+            is_exit = self._m_is_exit[ids]
+            space = self._m_out_cap[ids][None, :] - occ[:, self._out_idx[ids]]
+            bound = np.where(
+                is_exit[None, :], bound, np.minimum(bound, space)
+            )
+            servable[:, ids] = el & (queued > 0) & (
+                is_exit[None, :] | (space > 0)
+            )
+            limit = bound.astype(np.int64)
+            limit *= el
+            if limit.any():
+                limit_total[:, ids] = limit
+                sb, sm = np.nonzero(limit)
+                vals = limit[sb, sm]
+                gids = ids[sm]
+                np.add.at(occ, (sb, self._in_idx[gids]), -vals)
+                ne = self._m_nonexit[gids]
+                if ne.any():
+                    np.add.at(
+                        occ, (sb[ne], self._out_idx[gids[ne]]), vals[ne]
+                    )
+        return limit_total, servable
+
+    def _transfer_units(
+        self,
+        bs: np.ndarray,
+        ms: np.ndarray,
+        vals: np.ndarray,
+        now: float,
+    ) -> None:
+        """Apply the per-unit queue pops / transit pushes of one serve.
+
+        No ordering pass is needed: a transit FIFO's within-step push
+        order could only matter if two co-active movements shared an
+        out-road, which the constructor rejects — every (replication,
+        out-road) receives at most one cohort per serve.
+        """
+        limits = vals.tolist()
+        readies = (now + self._m_out_ttime[ms]).tolist()
+        head_b: List[int] = []
+        head_r: List[int] = []
+        head_v: List[float] = []
+        plans = self._transfer_plan
+        for i, (b, m) in enumerate(zip(bs.tolist(), ms.tolist())):
+            limit = limits[i]
+            lane, transit, ri = plans[b][m]
+            pop = lane.popleft
+            if transit is None:  # exit movement: vehicles leave
+                for _ in range(limit):
+                    pop()
+                continue
+            if not transit:
+                # (b, ri) pairs are unique here — a shared out-road
+                # within one phase is rejected at construction.
+                head_b.append(b)
+                head_r.append(ri)
+                head_v.append(readies[i])
+            transit.append((readies[i], [pop() for _ in range(limit)]))
+        if head_b:
+            self._head_ready[head_b, head_r] = head_v
+
+    def _refill_window(self, dt: float, now: float) -> None:
+        """Pull the next ``ARRIVAL_WINDOW`` mini-slots of arrival counts.
+
+        Times replicate the engine clock's own float accumulation, so
+        every replication's :class:`PoissonArrivals` sees exactly the
+        call sequence a serial run would make.
+        """
+        times = []
+        t = now
+        for _ in range(ARRIVAL_WINDOW):
+            times.append(t)
+            t += dt
+        window = np.empty(
+            (ARRIVAL_WINDOW, self.batch_size, len(self._entry_ids)),
+            dtype=np.int64,
+        )
+        for b, processes in enumerate(self._arrivals):
+            for e, process in enumerate(processes):
+                window[:, b, e] = process.sample_count_block(times, dt)
+        self._window = window
+        self._window_pos = 0
+
+    def _inject(self, dt: float, now: float) -> None:
+        if self._window is None or self._window_pos >= ARRIVAL_WINDOW:
+            self._refill_window(dt, now)
+        counts = self._window[self._window_pos]
+        self._window_pos += 1
+        candidates = (counts > 0) | (self._backlog_len > 0)
+        if not candidates.any():
+            return
+        pairs = np.argwhere(candidates)
+        pb, pe = pairs[:, 0], pairs[:, 1]
+        road_of_pair = self._entry_idx[pe]
+        # Entry roads are distinct per (replication, entry) pair, so a
+        # pre-loop occupancy gather sees exactly what the sequential
+        # reference loop would read, and all writes commit in one
+        # scatter each afterwards.
+        spaces = (self._caps[road_of_pair] - self._occ[pb, road_of_pair]).tolist()
+        readies = (now + self._transit_time[road_of_pair]).tolist()
+        count_list = counts[pb, pe].tolist()
+        road_list = road_of_pair.tolist()
+        entry_ids = self._entry_ids
+        plans = self._inject_plan
+        head_b: List[int] = []
+        head_r: List[int] = []
+        head_v: List[float] = []
+        delta_b: List[int] = []
+        delta_e: List[int] = []
+        delta_backlog: List[int] = []
+        delta_admitted: List[int] = []
+        route_nexts = self._route_nexts
+        for i, (b, e) in enumerate(zip(pb.tolist(), pe.tolist())):
+            backlog, transit, router = plans[b][e]
+            count = count_list[i]
+            admitted = 0
+            if count:
+                road_id = entry_ids[e]
+                sample_route = router.sample_route
+                for _ in range(count):
+                    route = sample_route(road_id)
+                    unit = route_nexts.get(id(route))
+                    if unit is None:
+                        unit = dict(zip(route, route[1:]))
+                        if len(unit) != len(route) - 1:
+                            # A road revisited along one route would
+                            # alias in the next-hop map; grid routes
+                            # never do (the samplers reject loops).
+                            raise ValueError(
+                                f"meso-vec: route revisits a road: {route}"
+                            )
+                        route_nexts[id(route)] = unit
+                    backlog.append(unit)
+            if backlog:
+                space = spaces[i]
+                if space > 0:
+                    if not transit:
+                        head_b.append(b)
+                        head_r.append(road_list[i])
+                        head_v.append(readies[i])
+                    pop = backlog.popleft
+                    cohort = []
+                    while backlog and admitted < space:
+                        cohort.append(pop())
+                        admitted += 1
+                    transit.append((readies[i], cohort))
+            if count or admitted:
+                delta_b.append(b)
+                delta_e.append(e)
+                delta_backlog.append(count - admitted)
+                delta_admitted.append(admitted)
+        if head_b:
+            self._head_ready[head_b, head_r] = head_v
+        if delta_b:
+            np.add.at(self._backlog_len, (delta_b, delta_e), delta_backlog)
+            admitted_arr = np.array(delta_admitted, dtype=np.int64)
+            occ_b = delta_b
+            np.add.at(
+                self._occ,
+                (occ_b, self._entry_idx[delta_e]),
+                admitted_arr,
+            )
+            np.add.at(
+                self.collector.vehicles_entered, delta_b, admitted_arr
+            )
+
+    # -- termination and introspection ---------------------------------------
+
+    def finalize(self) -> None:
+        """Close the aggregate books (idempotent)."""
+        if self._finalized:
+            return
+        self._finalized = True
+        self.collector.absorb_backlog(self._backlog_len.sum(axis=1))
+
+    def summaries(self, duration: Optional[float] = None) -> List[Summary]:
+        """Per-replication run summaries, in batch order."""
+        return self.collector.summaries(duration)
+
+    def utilization_of(self, replication: int) -> Dict[str, UtilizationTracker]:
+        """One replication's per-intersection utilization books."""
+        out: Dict[str, UtilizationTracker] = {}
+        for n, node_id in enumerate(self._node_ids):
+            out[node_id] = UtilizationTracker(
+                node_id=node_id,
+                green_time=float(self._green_time[replication, n]),
+                amber_time=float(self._amber_time[replication, n]),
+                service_capacity=float(
+                    self._service_capacity[replication, n]
+                ),
+                vehicles_served=int(self._vehicles_served[replication, n]),
+                wasted_green_slots=int(
+                    self._wasted_green_slots[replication, n]
+                ),
+                green_slots=int(self._green_slots[replication, n]),
+            )
+        return out
+
+    def road_occupancy(self, road_id: str) -> np.ndarray:
+        """Vehicles currently on a road, per replication."""
+        return self._occ[:, self._road_ids.index(road_id)].copy()
+
+    def incoming_queue_total(self, road_id: str) -> np.ndarray:
+        """Total queued vehicles at one stop line, per replication."""
+        try:
+            ri = self._road_ids.index(road_id)
+        except ValueError:
+            return np.zeros(self.batch_size, dtype=np.int64)
+        gids = self._gids_of_road.get(ri)
+        if gids is None:
+            return np.zeros(self.batch_size, dtype=np.int64)
+        return self._queue_len[:, gids].sum(axis=1)
+
+    def vehicles_in_network(self) -> np.ndarray:
+        """Total vehicles currently inside the network, per replication."""
+        return self._occ.sum(axis=1)
+
+    def backlog_size(self) -> np.ndarray:
+        """Vehicles gated outside a full entry, per replication."""
+        return self._backlog_len.sum(axis=1)
+
+
+class _CollectorView:
+    """Single-replication facade over the batch collector."""
+
+    def __init__(self, collector: BatchAggregateMetricsCollector, b: int):
+        self._collector = collector
+        self._b = b
+
+    @property
+    def vehicles_entered(self) -> int:
+        return int(self._collector.vehicles_entered[self._b])
+
+    @property
+    def vehicles_left(self) -> int:
+        return int(self._collector.vehicles_left[self._b])
+
+    @property
+    def total_queuing_time(self) -> float:
+        return float(self._collector.total_queuing_time[self._b])
+
+    @property
+    def now(self) -> float:
+        return self._collector.now
+
+    def summary(self, duration: Optional[float] = None) -> Summary:
+        return self._collector.summary_of(self._b, duration)
+
+
+class SingleReplicationEngine:
+    """:class:`SimulationEngine` adapter over a batch of one.
+
+    Registered as the plain engine ``"meso-vec"`` so single specs, the
+    CLI and the conformance suite drive the vectorized backend through
+    the standard contract; the orchestration pool swaps in real batches
+    behind the same name.
+    """
+
+    def __init__(self, batch: BatchCountsSimulator):
+        if batch.batch_size != 1:
+            raise ValueError(
+                f"adapter wraps exactly one replication, got batch of "
+                f"{batch.batch_size}"
+            )
+        self._batch = batch
+        self.network = batch.network
+        self.collector = _CollectorView(batch.collector, 0)
+
+    @property
+    def time(self) -> float:
+        return self._batch.time
+
+    @property
+    def utilization(self) -> Dict[str, UtilizationTracker]:
+        return self._batch.utilization_of(0)
+
+    def observations(self) -> Dict[str, QueueObservation]:
+        return self._batch.observations()[0]
+
+    def step(self, dt: float, phases: Mapping[str, int]) -> None:
+        self._batch.step(dt, (phases,))
+
+    def finalize(self) -> None:
+        self._batch.finalize()
+
+    def incoming_queue_total(self, road_id: str) -> int:
+        return int(self._batch.incoming_queue_total(road_id)[0])
+
+    def vehicles_in_network(self) -> int:
+        return int(self._batch.vehicles_in_network()[0])
+
+    def backlog_size(self) -> int:
+        return int(self._batch.backlog_size()[0])
+
+
+def _batch_from_scenarios(scenarios) -> BatchCountsSimulator:
+    # ``scenarios`` are repro.scenarios.core.Scenario values of one
+    # workload shape (same pattern and build parameters, one seed per
+    # replication); typed loosely to keep the engine layer
+    # import-independent of the scenario layer.
+    first = scenarios[0]
+    for scenario in scenarios[1:]:
+        # A batch shares one plant: replications whose network, demand
+        # or turning model differed would silently run on the first
+        # scenario's dynamics under their own labels.
+        if (
+            scenario.name != first.name
+            or scenario.demand != first.demand
+            or scenario.turning != first.turning
+            or list(scenario.network.roads) != list(first.network.roads)
+        ):
+            raise ValueError(
+                f"batch replications must share one scenario shape: "
+                f"{scenario.name!r} (seed {scenario.seed}) differs from "
+                f"{first.name!r} (seed {first.seed})"
+            )
+    return BatchCountsSimulator(
+        network=first.network,
+        demand=first.demand,
+        turning=first.turning,
+        seeds=tuple(s.seed for s in scenarios),
+    )
+
+
+def _build_vectorized_single(scenario) -> SingleReplicationEngine:
+    return SingleReplicationEngine(_batch_from_scenarios([scenario]))
+
+
+register_engine("meso-vec", _build_vectorized_single)
+register_batch_engine("meso-vec", _batch_from_scenarios)

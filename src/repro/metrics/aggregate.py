@@ -31,9 +31,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.metrics.collector import Summary
 
-__all__ = ["AggregateMetricsCollector"]
+__all__ = ["AggregateMetricsCollector", "BatchAggregateMetricsCollector"]
 
 
 @dataclass
@@ -104,19 +106,108 @@ class AggregateMetricsCollector:
     def summary(self, duration: Optional[float] = None) -> Summary:
         """Aggregate the run into a :class:`Summary` (``delay_mode="aggregate"``)."""
         horizon = self._clock if duration is None else duration
-        entered = self.vehicles_entered
-        left = self.vehicles_left
-        avg_queuing = self.total_queuing_time / entered if entered else 0.0
-        avg_travel = self.network_time_integral / left if left else 0.0
-        throughput = left / horizon * 3600.0 if horizon > 0 else 0.0
-        return Summary(
-            duration=horizon,
-            vehicles_entered=entered,
-            vehicles_left=left,
-            average_queuing_time=avg_queuing,
-            average_travel_time=avg_travel,
-            total_queuing_time=self.total_queuing_time,
-            max_queuing_time=0.0,
-            throughput_per_hour=throughput,
-            delay_mode="aggregate",
+        return _aggregate_summary(
+            horizon,
+            self.vehicles_entered,
+            self.vehicles_left,
+            self.total_queuing_time,
+            self.network_time_integral,
         )
+
+
+def _aggregate_summary(
+    horizon: float,
+    entered: int,
+    left: int,
+    total_queuing_time: float,
+    network_time_integral: float,
+) -> Summary:
+    """The shared summary arithmetic of the aggregate collectors.
+
+    One implementation for both the scalar and the batch collector, so
+    a replication summarized through either produces the bit-identical
+    :class:`Summary` (the batch-engine parity suite compares them with
+    ``==``).
+    """
+    avg_queuing = total_queuing_time / entered if entered else 0.0
+    avg_travel = network_time_integral / left if left else 0.0
+    throughput = left / horizon * 3600.0 if horizon > 0 else 0.0
+    return Summary(
+        duration=horizon,
+        vehicles_entered=entered,
+        vehicles_left=left,
+        average_queuing_time=avg_queuing,
+        average_travel_time=avg_travel,
+        total_queuing_time=total_queuing_time,
+        max_queuing_time=0.0,
+        throughput_per_hour=throughput,
+        delay_mode="aggregate",
+    )
+
+
+class BatchAggregateMetricsCollector:
+    """The batch-engine counterpart: one aggregate book per replication.
+
+    Holds the same four integrals as
+    :class:`AggregateMetricsCollector`, but as ``(B,)`` arrays updated
+    with one vectorized operation per mini-slot.  Every per-replication
+    value evolves through the identical float64 arithmetic as a scalar
+    collector fed that replication alone, so
+    :meth:`summary_of` returns the :class:`Summary` the scalar
+    collector would have produced (the ``meso-vec`` parity contract).
+    """
+
+    def __init__(self, batch_size: int):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        self.vehicles_entered = np.zeros(batch_size, dtype=np.int64)
+        self.vehicles_left = np.zeros(batch_size, dtype=np.int64)
+        self.total_queuing_time = np.zeros(batch_size, dtype=np.float64)
+        self.network_time_integral = np.zeros(batch_size, dtype=np.float64)
+        self._clock = 0.0
+
+    def advance(self, now: float) -> None:
+        """Move the (shared) collector clock forward (monotonic)."""
+        if now < self._clock:
+            raise ValueError(f"clock moved backwards: {now} < {self._clock}")
+        self._clock = now
+
+    @property
+    def now(self) -> float:
+        """The collector's current clock."""
+        return self._clock
+
+    def record_interval(
+        self, dt: float, waiting: np.ndarray, in_network: np.ndarray
+    ) -> None:
+        """Integrate one mini-slot's aggregate counts for every replication."""
+        if dt <= 0:
+            raise ValueError(f"dt must be > 0, got {dt}")
+        if (waiting < 0).any() or (in_network < 0).any():
+            raise ValueError("counts must be >= 0 in every replication")
+        self.total_queuing_time += dt * waiting
+        self.network_time_integral += dt * in_network
+
+    def absorb_backlog(self, counts: np.ndarray) -> None:
+        """Count still-gated vehicles as entered, per replication."""
+        if (counts < 0).any():
+            raise ValueError("backlog counts must be >= 0")
+        self.vehicles_entered += counts
+
+    def summary_of(
+        self, replication: int, duration: Optional[float] = None
+    ) -> Summary:
+        """The :class:`Summary` of one replication (pure Python numbers)."""
+        horizon = self._clock if duration is None else duration
+        return _aggregate_summary(
+            float(horizon),
+            int(self.vehicles_entered[replication]),
+            int(self.vehicles_left[replication]),
+            float(self.total_queuing_time[replication]),
+            float(self.network_time_integral[replication]),
+        )
+
+    def summaries(self, duration: Optional[float] = None) -> list:
+        """Per-replication summaries, in batch order."""
+        return [self.summary_of(b, duration) for b in range(self.batch_size)]

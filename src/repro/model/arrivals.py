@@ -197,6 +197,49 @@ class PoissonArrivals:
         self._batch_mean = -1.0  # no valid batch pending
         return int(self._rng.poisson(mean))
 
+    def sample_count_block(
+        self, times: Sequence[float], dt: float
+    ) -> List[int]:
+        """Counts for a whole block of consecutive mini-slots.
+
+        Returns exactly the values ``[self.sample_count(t, dt) for t in
+        times]`` would — same draws from the same generator in the same
+        order — but amortizes the per-call Python overhead by serving
+        runs of already pre-drawn batch values with one slice.  The
+        bulk path is sound because a live batch only ever contains
+        values for consecutive same-``dt`` slots strictly inside the
+        current rate segment (see :meth:`sample_count`'s sizing), so
+        none of the sliced values could have been discarded by the
+        per-call logic.  Callers must pass the same accumulated slot
+        times the per-call loop would (the batch engine's pulled-ahead
+        arrival window does).
+        """
+        out: List[int] = []
+        extend = out.extend
+        i, total = 0, len(times)
+        while i < total:
+            batch_before = self._batch
+            pos_before = self._batch_pos
+            out.append(self.sample_count(times[i], dt))
+            i += 1
+            # Bulk-serve only when that call itself consumed the live
+            # batch (freshly drawn, or advanced by one).  A call that
+            # bypassed the batch — zero-rate segment, non-batching mean
+            # — leaves it untouched, and its leftover values belong to
+            # earlier slots the per-call logic would never replay.
+            if self._batch_mean >= 0.0 and (
+                (self._batch is batch_before
+                 and self._batch_pos == pos_before + 1)
+                or (self._batch is not batch_before and self._batch_pos == 1)
+            ):
+                batch_left = len(self._batch) - self._batch_pos
+                if batch_left > 0 and i < total:
+                    take = min(batch_left, total - i)
+                    extend(self._batch[self._batch_pos:self._batch_pos + take])
+                    self._batch_pos += take
+                    i += take
+        return out
+
     def sample_times(self, start: float, dt: float) -> List[float]:
         """Exact arrival instants in ``[start, start+dt)`` (sorted).
 

@@ -20,6 +20,7 @@ line.
 from repro.orchestration.pool import ExperimentPool, PoolStats
 from repro.orchestration.spec import (
     SPEC_SCHEMA_VERSION,
+    BatchRunSpec,
     RunSpec,
     SweepGrid,
     execute_spec,
@@ -27,6 +28,7 @@ from repro.orchestration.spec import (
 
 __all__ = [
     "RunSpec",
+    "BatchRunSpec",
     "SweepGrid",
     "ExperimentPool",
     "PoolStats",

@@ -30,16 +30,20 @@ return identical objects.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.engine import provider_module
+from repro.core.engine import batch_provider_module, has_batch_engine, provider_module
 from repro.experiments.runner import RunResult
-from repro.orchestration.spec import RunSpec
+from repro.orchestration.spec import BatchRunSpec, RunSpec
 
 __all__ = ["ExperimentPool", "PoolStats"]
+
+#: One schedulable unit of work: a single cell, or a seed-batch.
+_WorkUnit = Union[RunSpec, BatchRunSpec]
 
 
 def _execute_payload(
@@ -57,6 +61,17 @@ def _execute_payload(
 
         importlib.import_module(engine_module)
     return spec.execute().to_dict()
+
+
+def _execute_batch_payload(
+    batch: BatchRunSpec, engine_module: Optional[str] = None
+) -> List[Dict[str, Any]]:
+    """Worker entry point for a seed-batch: one payload per member."""
+    if engine_module is not None:
+        import importlib
+
+        importlib.import_module(engine_module)
+    return [result.to_dict() for result in batch.execute()]
 
 
 @dataclass
@@ -96,6 +111,13 @@ class ExperimentPool:
         persistence.  Completed cells are committed incrementally, so
         a warm store makes re-running a completed sweep free and an
         interrupted sweep resumable.
+    batch_size:
+        Maximum seed-batch width.  Cells that differ only in their seed
+        and name a batch-capable engine (``meso-vec``) are grouped and
+        executed as one batched simulation of up to this many
+        replications; results fan back into the individual per-spec
+        store rows (cache keys unchanged — a warm store still resumes
+        cell by cell).  ``1`` disables grouping.
     """
 
     def __init__(
@@ -103,10 +125,14 @@ class ExperimentPool:
         workers: int = 1,
         cache_dir: Optional[Union[str, os.PathLike]] = None,
         store: Optional[Any] = None,
+        batch_size: int = 16,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = int(batch_size)
         if store is None and cache_dir is not None:
             from repro.results.store import ResultStore
 
@@ -146,12 +172,12 @@ class ExperimentPool:
                 pending[spec] = indices
 
         if pending:
-            unique = list(pending)
-            if self.workers == 1 or len(unique) == 1:
-                for spec in unique:
-                    self._finish(spec, _execute_payload(spec), pending, results)
+            units = self._plan_units(list(pending))
+            if self.workers == 1 or len(units) == 1:
+                for unit in units:
+                    self._execute_unit(unit, pending, results)
             else:
-                self._run_parallel(unique, pending, results)
+                self._run_parallel(units, pending, results)
 
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
@@ -159,6 +185,58 @@ class ExperimentPool:
     def run_one(self, spec: RunSpec) -> RunResult:
         """Execute a single spec (store-aware)."""
         return self.run([spec])[0]
+
+    # -- seed-batch planning -------------------------------------------------
+
+    def _plan_units(self, specs: Sequence[RunSpec]) -> List[_WorkUnit]:
+        """Group batchable same-cell/different-seed specs into batches.
+
+        Cells whose engine cannot batch (or lone seeds) stay individual
+        units; batchable groups are chunked to ``batch_size``.  Unit
+        order follows the first appearance of each cell, so scheduling
+        stays deterministic.
+        """
+        if self.batch_size == 1:
+            return list(specs)
+        # Same-cell key as BatchRunSpec.from_specs: the spec with its
+        # seed normalized away (specs are hashable value objects).
+        groups: Dict[RunSpec, List[RunSpec]] = {}
+        order: List[Tuple[Optional[RunSpec], RunSpec]] = []
+        for spec in specs:
+            if not has_batch_engine(spec.engine):
+                order.append((None, spec))
+                continue
+            key = dataclasses.replace(spec, seed=0)
+            if key not in groups:
+                order.append((key, spec))
+            groups.setdefault(key, []).append(spec)
+        units: List[_WorkUnit] = []
+        for key, spec in order:
+            if key is None:
+                units.append(spec)
+                continue
+            members = groups[key]
+            for start in range(0, len(members), self.batch_size):
+                chunk = members[start:start + self.batch_size]
+                if len(chunk) == 1:
+                    units.append(chunk[0])
+                else:
+                    units.append(BatchRunSpec.from_specs(chunk))
+        return units
+
+    def _execute_unit(
+        self,
+        unit: _WorkUnit,
+        pending: Dict[RunSpec, List[int]],
+        results: List[Optional[RunResult]],
+    ) -> None:
+        """Run one work unit in-process and account its results."""
+        if isinstance(unit, BatchRunSpec):
+            payloads = _execute_batch_payload(unit)
+            for spec, payload in zip(unit.specs(), payloads):
+                self._finish(spec, payload, pending, results)
+        else:
+            self._finish(unit, _execute_payload(unit), pending, results)
 
     def _finish(
         self,
@@ -177,30 +255,37 @@ class ExperimentPool:
 
     def _run_parallel(
         self,
-        specs: Sequence[RunSpec],
+        units: Sequence[_WorkUnit],
         pending: Dict[RunSpec, List[int]],
         results: List[Optional[RunResult]],
     ) -> None:
-        """Fan specs out over worker processes.
+        """Fan work units (cells or seed-batches) out over processes.
 
-        Each cell is committed to the store the moment it completes —
-        not when the whole batch does — so an interrupted or partially
-        failed sweep resumes from the cells that finished.  If a cell
-        raises: with a store, the remaining completions are still
-        drained into it before the first error propagates; without
-        one, draining would only burn compute on results nobody keeps,
-        so not-yet-started cells are cancelled and the error surfaces
-        promptly.
+        Each completed unit is committed to the store the moment it
+        completes — not when the whole batch does — so an interrupted
+        or partially failed sweep resumes from the cells that finished.
+        If a unit raises: with a store, the remaining completions are
+        still drained into it before the first error propagates;
+        without one, draining would only burn compute on results nobody
+        keeps, so not-yet-started units are cancelled and the error
+        surfaces promptly.
         """
-        max_workers = min(self.workers, len(specs))
+        max_workers = min(self.workers, len(units))
         first_error: Optional[BaseException] = None
         with ProcessPoolExecutor(max_workers=max_workers) as executor:
-            futures = {
-                executor.submit(
-                    _execute_payload, spec, provider_module(spec.engine)
-                ): spec
-                for spec in specs
-            }
+            futures = {}
+            for unit in units:
+                if isinstance(unit, BatchRunSpec):
+                    future = executor.submit(
+                        _execute_batch_payload,
+                        unit,
+                        batch_provider_module(unit.template.engine),
+                    )
+                else:
+                    future = executor.submit(
+                        _execute_payload, unit, provider_module(unit.engine)
+                    )
+                futures[future] = unit
             for future in as_completed(futures):
                 try:
                     payload = future.result()
@@ -211,6 +296,11 @@ class ExperimentPool:
                             for other in futures:
                                 other.cancel()
                     continue
-                self._finish(futures[future], payload, pending, results)
+                unit = futures[future]
+                if isinstance(unit, BatchRunSpec):
+                    for spec, spec_payload in zip(unit.specs(), payload):
+                        self._finish(spec, spec_payload, pending, results)
+                else:
+                    self._finish(unit, payload, pending, results)
         if first_error is not None:
             raise first_error

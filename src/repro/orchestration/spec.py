@@ -17,14 +17,15 @@ orchestration pool exists to serve.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass
 from itertools import product
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.core.engine import engine_names
-from repro.experiments.runner import RunResult, run_scenario
+from repro.core.engine import engine_names, has_batch_engine
+from repro.experiments.runner import RunResult, run_scenario, run_scenario_batch
 from repro.scenarios import (
     Scenario,
     build_named_scenario,
@@ -34,7 +35,13 @@ from repro.scenarios import (
 )
 from repro.scenarios.patterns import PATTERN_NAMES
 
-__all__ = ["RunSpec", "SweepGrid", "execute_spec", "SPEC_SCHEMA_VERSION"]
+__all__ = [
+    "RunSpec",
+    "BatchRunSpec",
+    "SweepGrid",
+    "execute_spec",
+    "SPEC_SCHEMA_VERSION",
+]
 
 #: Bump when the spec or result schema changes incompatibly; part of
 #: the spec hash so stale cache entries are never reused.
@@ -236,6 +243,82 @@ class RunSpec:
 def execute_spec(spec: RunSpec) -> RunResult:
     """Module-level alias of :meth:`RunSpec.execute` (picklable target)."""
     return spec.execute()
+
+
+@dataclass(frozen=True)
+class BatchRunSpec:
+    """One batched execution unit: the same cell under many seeds.
+
+    Groups :class:`RunSpec` cells that differ *only* in their seed and
+    whose engine can step whole seed-batches (see
+    :func:`repro.core.engine.has_batch_engine`).  The batch is purely an
+    execution strategy: :meth:`execute` returns one
+    :class:`RunResult` per member spec — equal, by the batch engines'
+    parity contract, to what each spec's own ``execute()`` would have
+    produced — so callers (the pool) can fan results back into the
+    per-spec result store under unchanged cache keys.
+    """
+
+    template: RunSpec
+    seeds: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise ValueError("a batch needs at least one seed")
+        if not has_batch_engine(self.template.engine):
+            raise ValueError(
+                f"engine {self.template.engine!r} cannot step seed-batches; "
+                f"submit the specs individually"
+            )
+        object.__setattr__(
+            self, "seeds", tuple(int(seed) for seed in self.seeds)
+        )
+
+    @classmethod
+    def from_specs(cls, specs: Sequence[RunSpec]) -> "BatchRunSpec":
+        """Build a batch from specs that differ only in their seed."""
+        if not specs:
+            raise ValueError("a batch needs at least one spec")
+        template = specs[0]
+        reference = dataclasses.replace(template, seed=0)
+        for spec in specs[1:]:
+            if dataclasses.replace(spec, seed=0) != reference:
+                raise ValueError(
+                    f"batch members must differ only in seed: "
+                    f"{spec.label()} vs {template.label()}"
+                )
+        return cls(template=template, seeds=tuple(s.seed for s in specs))
+
+    def specs(self) -> Tuple[RunSpec, ...]:
+        """The member cells, in batch (seed) order."""
+        return tuple(
+            dataclasses.replace(self.template, seed=seed)
+            for seed in self.seeds
+        )
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+    def execute(self) -> Tuple[RunResult, ...]:
+        """Run the whole batch; one result per member spec, in order."""
+        template = self.template
+        scenarios = [
+            dataclasses.replace(template, seed=seed).make_scenario()
+            for seed in self.seeds
+        ]
+        return tuple(
+            run_scenario_batch(
+                scenarios,
+                controller=template.controller,
+                controller_params=template.controller_kwargs(),
+                duration=template.duration,
+                engine=template.engine,
+                mini_slot=template.mini_slot,
+                record_phases=template.record_phases,
+                record_queues=template.record_queues,
+                queue_sample_interval=template.queue_sample_interval,
+            )
+        )
 
 
 #: A controller axis entry: a name, or ``(name, params)``.

@@ -20,10 +20,10 @@ from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import build_scenario
 from repro.model.phases import TRANSITION_PHASE_INDEX
 
-ENGINES = ("meso", "meso-counts", "micro")
+ENGINES = ("meso", "meso-counts", "meso-vec", "micro")
 
 #: Short horizons keep the micro engine affordable in CI.
-HORIZON = {"meso": 90.0, "meso-counts": 90.0, "micro": 30.0}
+HORIZON = {"meso": 90.0, "meso-counts": 90.0, "meso-vec": 90.0, "micro": 30.0}
 
 
 def _make(engine: str):
@@ -38,7 +38,7 @@ def _drive(sim, steps: int, phase: int = 1) -> None:
 
 class TestRegistry:
     def test_builtin_names_exposed(self):
-        assert ENGINE_NAMES == ("meso", "meso-counts", "micro")
+        assert ENGINE_NAMES == ("meso", "meso-counts", "meso-vec", "micro")
         for name in ENGINE_NAMES:
             assert name in engine_names()
 
@@ -49,6 +49,7 @@ class TestRegistry:
     def test_provider_module(self):
         assert provider_module("meso") == "repro.meso.simulator"
         assert provider_module("meso-counts") == "repro.meso.counts"
+        assert provider_module("meso-vec") == "repro.meso.vectorized"
         assert provider_module("micro") == "repro.micro.simulator"
         assert provider_module("nonexistent") is None
 
@@ -79,6 +80,39 @@ class TestRegistry:
             from repro.core.engine import _ENGINE_BUILDERS
 
             _ENGINE_BUILDERS.pop("test-custom", None)
+
+
+class TestBatchRegistry:
+    def test_batch_engine_registered(self):
+        from repro.core.engine import (
+            BatchEngine,
+            batch_engine_names,
+            batch_provider_module,
+            build_batch_engine,
+            has_batch_engine,
+        )
+
+        assert has_batch_engine("meso-vec")
+        assert not has_batch_engine("meso")
+        assert "meso-vec" in batch_engine_names()
+        assert batch_provider_module("meso-vec") == "repro.meso.vectorized"
+        scenarios = [build_scenario("I", seed=s) for s in (1, 2, 3)]
+        sim = build_batch_engine(scenarios, "meso-vec")
+        assert isinstance(sim, BatchEngine)
+        assert sim.batch_size == 3
+        assert sim.seeds == (1, 2, 3)
+
+    def test_unknown_batch_engine_raises(self):
+        from repro.core.engine import build_batch_engine
+
+        with pytest.raises(ValueError, match="unknown batch engine"):
+            build_batch_engine([build_scenario("I")], "meso")
+
+    def test_empty_batch_rejected(self):
+        from repro.core.engine import build_batch_engine
+
+        with pytest.raises(ValueError, match="at least one"):
+            build_batch_engine([], "meso-vec")
 
 
 @pytest.mark.parametrize("engine", ENGINES)

@@ -1,4 +1,5 @@
-"""Equivalence suite: ``meso-counts`` against the reference ``meso``.
+"""Equivalence suite: ``meso-counts`` against the reference ``meso``,
+and ``meso-vec`` against ``meso-counts``.
 
 The counts-based engine claims *step-for-step identical* Eq.-2
 dynamics under a shared seed, not statistical similarity.  This suite
@@ -23,12 +24,18 @@ open-loop (fixed phase schedule) drives are covered: closed-loop
 proves the engines are interchangeable inside the real control loop,
 open-loop proves the parity does not depend on the controller masking
 differences.
+
+The ``meso-vec`` batch engine extends the chain: at ``B=1`` it must be
+*exactly* equal to ``meso-counts`` under the same seed (same lockstep
+checks), and every replication's results must be independent of the
+batch size — together those two pin each replication of any batch to
+the serial trajectory of its seed.
 """
 
 import pytest
 
 from repro.control.factory import make_network_controller
-from repro.core.engine import build_engine
+from repro.core.engine import build_batch_engine, build_engine
 from repro.scenarios import build_named_scenario
 
 #: The catalog entries the parity claim is asserted on (the demand
@@ -38,10 +45,16 @@ SCENARIOS = ("steady-3x3", "tidal-3x3", "surge-4x4")
 STEPS = 300
 
 
-def _lockstep(name, decide_a, decide_b, steps=STEPS):
-    """Drive both engines in lockstep; assert per-step equivalence."""
-    reference = build_engine(build_named_scenario(name, seed=11), "meso")
-    counts = build_engine(build_named_scenario(name, seed=11), "meso-counts")
+def _lockstep(
+    name,
+    decide_a,
+    decide_b,
+    steps=STEPS,
+    engines=("meso", "meso-counts"),
+):
+    """Drive two engines in lockstep; assert per-step equivalence."""
+    reference = build_engine(build_named_scenario(name, seed=11), engines[0])
+    counts = build_engine(build_named_scenario(name, seed=11), engines[1])
     roads = list(reference.network.roads)
     for step in range(steps):
         obs_ref = reference.observations()
@@ -114,6 +127,160 @@ class TestTrajectoryParity:
 
         reference, counts = _lockstep(name, fixed, fixed)
         _assert_books_match(reference, counts)
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+class TestVectorizedTrajectoryParity:
+    """``meso-vec`` at B=1 against ``meso-counts``: exact, per step."""
+
+    ENGINES = ("meso-counts", "meso-vec")
+
+    def _assert_aggregate_books_match(self, counts, vectorized):
+        horizon = float(STEPS)
+        cnt_util = {n: t.to_dict() for n, t in counts.utilization.items()}
+        vec_util = {n: t.to_dict() for n, t in vectorized.utilization.items()}
+        assert cnt_util == vec_util
+        # Both report aggregate books, so the whole summary — travel
+        # time estimate included — must be bit-for-bit equal.
+        cnt = counts.collector.summary(horizon)
+        vec = vectorized.collector.summary(horizon)
+        assert cnt.delay_mode == vec.delay_mode == "aggregate"
+        assert cnt == vec
+
+    def test_closed_loop_util_bp(self, name):
+        scenario = build_named_scenario(name, seed=11)
+        controllers = [
+            make_network_controller("util-bp", scenario.network)
+            for _ in range(2)
+        ]
+        counts, vectorized = _lockstep(
+            name,
+            lambda obs, step: controllers[0].decide(obs),
+            lambda obs, step: controllers[1].decide(obs),
+            engines=self.ENGINES,
+        )
+        self._assert_aggregate_books_match(counts, vectorized)
+
+    def test_open_loop_fixed_phases(self, name):
+        scenario = build_named_scenario(name, seed=11)
+        nodes = list(scenario.network.intersections)
+
+        def fixed(obs, step):
+            slot, offset = divmod(step, 13)
+            phase = 0 if offset == 12 else 1 + slot % 4
+            return {node: phase for node in nodes}
+
+        counts, vectorized = _lockstep(
+            name, fixed, fixed, engines=self.ENGINES
+        )
+        self._assert_aggregate_books_match(counts, vectorized)
+
+
+class TestBatchIndependence:
+    """Replication results must not depend on the batch size."""
+
+    STEPS = 200
+    NAME = "surge-4x4"  # congested: exercises the staged serve path
+
+    def _run(self, seeds):
+        scenarios = [build_named_scenario(self.NAME, seed=s) for s in seeds]
+        sim = build_batch_engine(scenarios, "meso-vec")
+        controllers = [
+            make_network_controller("util-bp", scenarios[0].network)
+            for _ in seeds
+        ]
+        for _ in range(self.STEPS):
+            observations = sim.observations()
+            sim.step(
+                1.0,
+                [
+                    controller.decide(obs)
+                    for controller, obs in zip(controllers, observations)
+                ],
+            )
+        sim.finalize()
+        return {
+            seed: (
+                sim.collector.summary_of(b, float(self.STEPS)),
+                {n: t.to_dict() for n, t in sim.utilization_of(b).items()},
+            )
+            for b, seed in enumerate(seeds)
+        }
+
+    def test_b16_b4_b1_agree(self):
+        seeds = tuple(range(21, 37))
+        b16 = self._run(seeds)
+        b4 = self._run(seeds[:4])
+        b1 = self._run(seeds[:1])
+        for seed in seeds[:4]:
+            assert b16[seed] == b4[seed], seed
+        assert b16[seeds[0]] == b1[seeds[0]]
+
+    def test_batch_replication_equals_serial_counts_engine(self):
+        """Any batch member equals the serial meso-counts run of its seed."""
+        seeds = (21, 22, 23, 24)
+        batch = self._run(seeds)
+        scenario = build_named_scenario(self.NAME, seed=22)
+        sim = build_engine(scenario, "meso-counts")
+        controller = make_network_controller("util-bp", scenario.network)
+        for _ in range(self.STEPS):
+            sim.step(1.0, controller.decide(sim.observations()))
+        sim.finalize()
+        summary, util = batch[22]
+        assert summary == sim.collector.summary(float(self.STEPS))
+        assert util == {n: t.to_dict() for n, t in sim.utilization.items()}
+
+
+class TestBatchRunner:
+    def test_batch_results_equal_single_runs(self):
+        """run_scenario_batch fans out to exactly the single-run results."""
+        from repro.experiments.runner import run_scenario, run_scenario_batch
+
+        record = dict(
+            record_phases=("J00",), record_queues=(("J00", "IN:N@J00"),)
+        )
+        scenarios = [
+            build_named_scenario("steady-3x3", seed=s) for s in (5, 6, 7)
+        ]
+        batch = run_scenario_batch(
+            scenarios, controller="util-bp", duration=150.0, **record
+        )
+        for scenario, result in zip(scenarios, batch):
+            single = run_scenario(
+                build_named_scenario("steady-3x3", seed=scenario.seed),
+                controller="util-bp",
+                duration=150.0,
+                engine="meso-vec",
+                **record,
+            )
+            assert result == single
+
+    def test_mixed_lane_policy_rejected(self):
+        from repro.meso.vectorized import BatchCountsSimulator
+
+        scenario = build_named_scenario("steady-3x3", seed=1)
+        with pytest.raises(ValueError, match="mixed"):
+            BatchCountsSimulator(
+                network=scenario.network,
+                demand=scenario.demand,
+                turning=scenario.turning,
+                seeds=(1,),
+                lane_policy="mixed",
+            )
+
+    def test_constant_mini_slot_contract(self):
+        from repro.meso.vectorized import BatchCountsSimulator
+
+        scenario = build_named_scenario("steady-3x3", seed=1)
+        sim = BatchCountsSimulator(
+            network=scenario.network,
+            demand=scenario.demand,
+            turning=scenario.turning,
+            seeds=(1, 2),
+        )
+        sim.step(1.0, [{}, {}])
+        with pytest.raises(ValueError, match="constant mini-slot"):
+            sim.step(0.5, [{}, {}])
 
 
 class TestAggregateSummary:

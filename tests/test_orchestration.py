@@ -7,6 +7,7 @@ import pytest
 from repro.experiments.runner import RunResult, run_scenario
 from repro.experiments.scenario import build_scenario
 from repro.orchestration import (
+    BatchRunSpec,
     ExperimentPool,
     RunSpec,
     SweepGrid,
@@ -324,6 +325,10 @@ class TestExperimentPool:
         assert pool.stats.executed == 2
         assert a.summary != b.summary
 
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            ExperimentPool(batch_size=0)
+
     def test_cache_key_includes_engine(self, tmp_path):
         """A cached ``meso`` result must never satisfy a ``meso-counts``
         spec (or vice versa): the engines report different metric modes,
@@ -349,3 +354,114 @@ class TestExperimentPool:
         assert warm.run_one(counts_spec).summary.delay_mode == "aggregate"
         assert warm.stats.cache_hits == 2
         assert warm.stats.executed == 0
+
+
+class TestSeedBatching:
+    """The pool groups same-cell/different-seed meso-vec specs into one
+    batched execution and fans results back into per-spec store rows."""
+
+    def _specs(self, seeds=(1, 2, 3, 4), duration=120.0):
+        return SweepGrid(
+            patterns=(),
+            scenarios=("steady-3x3",),
+            seeds=seeds,
+            engines=("meso-vec",),
+            durations=(duration,),
+        ).specs()
+
+    def test_batched_matches_unbatched(self):
+        specs = self._specs()
+        batched = ExperimentPool(batch_size=16).run(specs)
+        unbatched = ExperimentPool(batch_size=1).run(specs)
+        assert batched == unbatched
+
+    def test_plan_units_groups_only_batchable_cells(self):
+        vec = self._specs(seeds=(1, 2, 3, 4, 5))
+        meso = [
+            RunSpec(pattern="steady-3x3", engine="meso", seed=s, duration=120.0)
+            for s in (1, 2)
+        ]
+        lone = RunSpec(
+            pattern="steady-3x3", engine="meso-vec", seed=9, duration=60.0
+        )
+        pool = ExperimentPool(batch_size=2)
+        units = pool._plan_units(list(vec) + meso + [lone])
+        batches = [u for u in units if isinstance(u, BatchRunSpec)]
+        singles = [u for u in units if isinstance(u, RunSpec)]
+        # 5 batchable seeds chunked to (2, 2, 1): two batches, and the
+        # odd seed plus the meso cells and the different-duration cell
+        # stay individual.
+        assert sorted(len(b) for b in batches) == [2, 2]
+        assert len(singles) == 4
+        assert {spec.engine for spec in meso} == {"meso"}
+        # every input spec appears exactly once across all units
+        flattened = [s for b in batches for s in b.specs()] + singles
+        assert sorted(s.spec_hash() for s in flattened) == sorted(
+            s.spec_hash() for s in list(vec) + meso + [lone]
+        )
+
+    def test_resume_skips_cached_cells_when_batching(self, tmp_path):
+        """A partially complete batched sweep re-executes only the
+        missing cells: cache keys are per spec, not per batch."""
+        specs = self._specs()
+        first = ExperimentPool(store=tmp_path / "s.sqlite", batch_size=16)
+        first.run(specs[:2])
+        assert first.stats.executed == 2
+
+        resumed = ExperimentPool(store=tmp_path / "s.sqlite", batch_size=16)
+        results = resumed.run(specs)
+        assert resumed.stats.cache_hits == 2
+        assert resumed.stats.executed == 2
+        # the store now holds one row per seed
+        from repro.results.store import ResultStore
+
+        store = ResultStore(tmp_path / "s.sqlite")
+        assert len(store) == len(specs)
+        store.close()
+        # and a fully warm rerun computes nothing
+        warm = ExperimentPool(store=tmp_path / "s.sqlite", batch_size=16)
+        again = warm.run(specs)
+        assert warm.stats.executed == 0
+        assert warm.stats.cache_hits == len(specs)
+        assert again == results
+
+    def test_batched_rows_interchange_with_single_execution(self, tmp_path):
+        """A row written by a batch satisfies the same spec run singly,
+        and vice versa (unchanged cache keys, value-identical payloads)."""
+        specs = self._specs(seeds=(1, 2))
+        ExperimentPool(store=tmp_path / "s.sqlite", batch_size=16).run(specs)
+        singly = ExperimentPool(store=tmp_path / "s.sqlite", batch_size=1)
+        results = singly.run(specs)
+        assert singly.stats.cache_hits == 2 and singly.stats.executed == 0
+        direct = ExperimentPool(batch_size=1).run(specs)
+        assert results == direct
+
+    def test_parallel_batched_matches_serial(self):
+        specs = self._specs()
+        serial = ExperimentPool(workers=1, batch_size=2).run(specs)
+        parallel = ExperimentPool(workers=2, batch_size=2).run(specs)
+        assert serial == parallel
+
+    def test_from_specs_rejects_mixed_cells(self):
+        specs = self._specs(seeds=(1, 2))
+        other = RunSpec(
+            pattern="steady-3x3", engine="meso-vec", seed=3, duration=60.0
+        )
+        with pytest.raises(ValueError, match="differ only in seed"):
+            BatchRunSpec.from_specs([specs[0], other])
+
+    def test_non_batch_engine_rejected(self):
+        with pytest.raises(ValueError, match="cannot step seed-batches"):
+            BatchRunSpec(
+                template=RunSpec(pattern="steady-3x3", duration=60.0),
+                seeds=(1, 2),
+            )
+
+    def test_batch_execute_matches_member_execution(self):
+        specs = self._specs(seeds=(7, 8))
+        batch = BatchRunSpec.from_specs(list(specs))
+        assert batch.specs() == specs
+        results = batch.execute()
+        assert [r.summary for r in results] == [
+            spec.execute().summary for spec in specs
+        ]
