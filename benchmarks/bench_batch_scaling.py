@@ -16,6 +16,12 @@ Two workload shapes are covered:
   volume grows per replication, so the batch advantage narrows; the
   printed matrix keeps that honest.
 
+Besides the fixed-plan stepping matrix, a *closed-loop* matrix runs
+the same widths with the batched util-bp kernel deciding every
+replication on the engine's internal arrays (``controller_arrays``),
+against a serial meso-counts closed-loop cell — the regime the
+``--min-vec-closed-speedup`` CI gate pins.
+
 Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_batch_scaling.py \
@@ -25,7 +31,12 @@ Run with::
 import numpy as np
 import pytest
 
-from repro.core.engine import build_batch_engine, build_engine
+from repro.control.factory import make_network_controller
+from repro.core.engine import (
+    build_batch_controller,
+    build_batch_engine,
+    build_engine,
+)
 from repro.scenarios import build_named_scenario
 
 #: Mini-slots simulated before timing starts (populate the network).
@@ -126,6 +137,74 @@ def test_serial_counts_baseline(benchmark, warm_serial):
         rate = 1.0 / benchmark.stats.stats.mean
         print(
             f"\n{SCENARIO}[{name}] serial: {rate:,.0f} steps/s (meso-counts)"
+        )
+
+
+@pytest.fixture(
+    scope="module",
+    params=BATCH_WIDTHS,
+    ids=lambda width: f"B{width}",
+)
+def warm_closed_loop_batch(request):
+    """A warm B-wide batch plus its batched util-bp controller.
+
+    Closed-loop scaling is only benchmarked on the ``light`` shape —
+    the one the CI gate pins; the fixed-plan matrix above already
+    covers how demand volume erodes the batch advantage.
+    """
+    width = request.param
+    params = WORKLOADS["light"]
+    scenarios = [
+        build_named_scenario(SCENARIO, seed=1 + b, **params)
+        for b in range(width)
+    ]
+    sim = build_batch_engine(scenarios, "meso-vec")
+    controller = build_batch_controller(
+        "util-bp", scenarios[0].network, width
+    )
+    for _ in range(WARMUP_STEPS):
+        sim.step(1.0, controller.decide_batch(sim.controller_arrays()))
+    return width, sim, controller
+
+
+def test_batch_closed_loop_rate(benchmark, warm_closed_loop_batch):
+    width, sim, controller = warm_closed_loop_batch
+
+    def one_mini_slot():
+        sim.step(1.0, controller.decide_batch(sim.controller_arrays()))
+
+    benchmark(one_mini_slot)
+    if benchmark.stats is not None:
+        replication_rate = width / benchmark.stats.stats.mean
+        print(
+            f"\n{SCENARIO}[light] B={width} util-bp: "
+            f"{replication_rate:,.0f} replication-steps/s (meso-vec batched)"
+        )
+
+
+@pytest.fixture(scope="module")
+def warm_closed_loop_serial():
+    params = WORKLOADS["light"]
+    scenario = build_named_scenario(SCENARIO, seed=1, **params)
+    sim = build_engine(scenario, "meso-counts")
+    controller = make_network_controller("util-bp", scenario.network)
+    for _ in range(WARMUP_STEPS):
+        sim.step(1.0, controller.decide(sim.observations()))
+    return sim, controller
+
+
+def test_serial_closed_loop_baseline(benchmark, warm_closed_loop_serial):
+    sim, controller = warm_closed_loop_serial
+
+    def one_mini_slot():
+        sim.step(1.0, controller.decide(sim.observations()))
+
+    benchmark(one_mini_slot)
+    if benchmark.stats is not None:
+        rate = 1.0 / benchmark.stats.stats.mean
+        print(
+            f"\n{SCENARIO}[light] serial util-bp: "
+            f"{rate:,.0f} steps/s (meso-counts)"
         )
 
 

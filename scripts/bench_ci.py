@@ -15,12 +15,18 @@ Measures two kinds of steps/second on a small, fixed workload set:
   controllers are per-replication Python work identical on both sides,
   so the stepping comparison isolates exactly what batching
   accelerates;
+* **batch closed-loop** — the full batched control loop: the in-engine
+  observation façade plus the batched util-bp kernel deciding all B
+  replications per mini-slot, against serial meso-counts closed-loop
+  runs (keys like ``step/meso-vec-b16-utilbp/steady-10x10-l10``).
+  This is the paper's main regime — the gate that the vectorized
+  controller kernel must keep paying for itself;
 * **store overhead** — ``ResultStore`` put/get/query operations per
   second on a file-backed SQLite store (key ``store/put-get-query``):
   the per-cell bookkeeping every sweep pays on top of simulating, so a
   store regression shows up here before it drowns a mass sweep.
 
-Three gates, all enforced in CI:
+Four gates, all enforced in CI:
 
 1. **Regression gate** — writes the numbers to ``BENCH_ci.json`` and
    fails (exit 1) if any workload's calibration-normalized throughput
@@ -37,6 +43,13 @@ Three gates, all enforced in CI:
    (default 3x) more replication mini-slots/s than 16 serial
    ``meso-counts`` runs would on the gated light-demand 10x10 grid —
    the mass-replication regime the batch engine exists for.
+4. **Batch closed-loop speedup gate** — fails (exit 1) if the same
+   B=16 batch running the *full* control loop (batched util-bp on the
+   in-engine arrays) is not at least ``--min-vec-closed-speedup``
+   (default 2x) faster, in replication mini-slots/s, than 16 serial
+   meso-counts closed-loop runs.  This is the gate the vectorized
+   controller kernel answers to: losing it means sweeps are better off
+   serial again.
 
 Raw steps/second is machine-dependent, so every run also times a fixed
 pure-Python/numpy *calibration* workload and gates the baseline
@@ -64,13 +77,13 @@ from typing import Dict
 import numpy as np
 
 from repro.control.factory import make_network_controller
-from repro.core.engine import build_batch_engine
+from repro.core.engine import build_batch_controller, build_batch_engine
 from repro.experiments.runner import build_engine
 from repro.scenarios import build_named_scenario
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline_ci.json"
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Closed-loop workloads: (key, engine, scenario name, measured steps).
 WORKLOADS = (
@@ -103,6 +116,15 @@ STEPPING_WORKLOADS = (
     ("step/meso-vec-b16/steady-10x10-l10", "meso-vec", 400),
 )
 
+#: Closed-loop batch workloads (util-bp deciding every mini-slot): the
+#: serial meso-counts reference and the B=16 batch driven by the
+#: batched util-bp kernel on the engine's arrays, in replication
+#: mini-slots/s.
+CLOSED_BATCH_WORKLOADS = (
+    ("step/meso-counts-utilbp/steady-10x10-l10", "meso-counts", 400),
+    ("step/meso-vec-b16-utilbp/steady-10x10-l10", "meso-vec", 400),
+)
+
 #: Same-run speedup gates: (fast key, reference key, argparse attribute
 #: holding the minimum ratio).  The stepping pair compares one B=16
 #: batch against 16 serial runs: replication-steps/s on both sides.
@@ -116,6 +138,11 @@ SPEEDUP_GATES = (
         "step/meso-vec-b16/steady-10x10-l10",
         "step/meso-counts/steady-10x10-l10",
         "min_vec_speedup",
+    ),
+    (
+        "step/meso-vec-b16-utilbp/steady-10x10-l10",
+        "step/meso-counts-utilbp/steady-10x10-l10",
+        "min_vec_closed_speedup",
     ),
 )
 
@@ -259,6 +286,60 @@ def measure_batch_stepping(
     return best
 
 
+def measure_serial_closed_loop(
+    engine, scenario_name, params, steps, repeats
+) -> float:
+    """Best-of-``repeats`` serial closed-loop rate (util-bp each slot)."""
+    best = 0.0
+    for attempt in range(repeats):
+        scenario = build_named_scenario(
+            scenario_name, seed=1 + attempt, **params
+        )
+        sim = build_engine(scenario, engine)
+        controller = make_network_controller("util-bp", scenario.network)
+        for _ in range(STEPPING_WARMUP):
+            sim.step(1.0, controller.decide(sim.observations()))
+        start = time.perf_counter()
+        for _ in range(steps):
+            sim.step(1.0, controller.decide(sim.observations()))
+        elapsed = time.perf_counter() - start
+        best = max(best, steps / elapsed)
+    return best
+
+
+def measure_batch_closed_loop(
+    scenario_name, params, width, steps, repeats
+) -> float:
+    """Best-of-``repeats`` batched closed-loop rate in replication-steps/s.
+
+    Every mini-slot the batched util-bp kernel decides all ``width``
+    replications on the engine's internal arrays
+    (``controller_arrays``), then the batch engine steps them — the
+    exact loop :func:`repro.experiments.runner.run_scenario_batch`
+    runs for a sweep cell.
+    """
+    best = 0.0
+    for attempt in range(repeats):
+        scenarios = [
+            build_named_scenario(
+                scenario_name, seed=1 + attempt * width + b, **params
+            )
+            for b in range(width)
+        ]
+        sim = build_batch_engine(scenarios, "meso-vec")
+        controller = build_batch_controller(
+            "util-bp", scenarios[0].network, width
+        )
+        for _ in range(STEPPING_WARMUP):
+            sim.step(1.0, controller.decide_batch(sim.controller_arrays()))
+        start = time.perf_counter()
+        for _ in range(steps):
+            sim.step(1.0, controller.decide_batch(sim.controller_arrays()))
+        elapsed = time.perf_counter() - start
+        best = max(best, steps / elapsed * width)
+    return best
+
+
 #: Cells written/read/queried by the store-overhead workload.
 STORE_CELLS = 150
 
@@ -355,6 +436,27 @@ def run_benchmarks(repeats: int, minimums: Dict[str, float]) -> Dict:
             record(
                 key,
                 measure_serial_stepping(
+                    engine,
+                    BATCH_SCENARIO,
+                    BATCH_SCENARIO_PARAMS,
+                    steps,
+                    repeats,
+                ),
+            )
+    for key, engine, steps in CLOSED_BATCH_WORKLOADS:
+        if engine == "meso-vec":
+            rate = measure_batch_closed_loop(
+                BATCH_SCENARIO,
+                BATCH_SCENARIO_PARAMS,
+                BATCH_WIDTH,
+                steps,
+                repeats,
+            )
+            record(key, rate, unit="rep-steps/s")
+        else:
+            record(
+                key,
+                measure_serial_closed_loop(
                     engine,
                     BATCH_SCENARIO,
                     BATCH_SCENARIO_PARAMS,
@@ -471,6 +573,14 @@ def main() -> int:
         ),
     )
     parser.add_argument(
+        "--min-vec-closed-speedup", type=float, default=2.0,
+        help=(
+            "required batched closed-loop (meso-vec@B=16 + batched "
+            "util-bp) replication-steps/s over 16 serial meso-counts "
+            "closed-loop runs (default 2.0)"
+        ),
+    )
+    parser.add_argument(
         "--repeats", type=int, default=3,
         help="timing repeats per workload (best is kept)",
     )
@@ -486,6 +596,7 @@ def main() -> int:
         {
             "min_speedup": args.min_speedup,
             "min_vec_speedup": args.min_vec_speedup,
+            "min_vec_closed_speedup": args.min_vec_closed_speedup,
         },
     )
     args.output.write_text(json.dumps(current, indent=2) + "\n")

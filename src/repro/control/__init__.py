@@ -11,6 +11,11 @@
   (CAP-BP).
 * :mod:`repro.control.factory` — name-based construction of any
   controller, including UTIL-BP, for experiment configs.
+* :mod:`repro.control.batch` — batched twins of the closed-loop
+  controllers: whole ``(B, n_nodes)`` decision arrays computed on the
+  batch engines' ``(B, n_movements)`` queue arrays, decision-for-
+  decision identical to the serial controllers (built by name via
+  :func:`repro.core.engine.build_batch_controller`).
 
 The paper's own controller lives in :mod:`repro.core.util_bp`.
 """
@@ -20,6 +25,12 @@ from repro.control.base import (
     FixedSlotController,
     IntersectionController,
     NetworkController,
+)
+from repro.control.batch import (
+    BatchCapBpController,
+    BatchNetworkController,
+    BatchOriginalBpController,
+    BatchUtilBpController,
 )
 from repro.control.fixed_time import FixedTimeController
 from repro.control.original_bp import OriginalBpController
@@ -34,6 +45,10 @@ __all__ = [
     "FixedTimeController",
     "OriginalBpController",
     "CapBpController",
+    "BatchNetworkController",
+    "BatchUtilBpController",
+    "BatchCapBpController",
+    "BatchOriginalBpController",
     "make_controller",
     "make_network_controller",
 ]

@@ -1,0 +1,513 @@
+"""Batched network controllers: all B replications decided at once.
+
+Closed-loop batching is what makes ``meso-vec`` pay off in the paper's
+main regime: the engine steps B replications as arrays, but a serial
+sweep still ran B Python controller instances against B per-replication
+``QueueObservation`` maps every mini-slot.  The controllers here replace
+that loop with array kernels — one :meth:`decide_batch` call computes
+the ``(B, n_nodes)`` phase decisions for the whole batch directly on the
+engine's ``(B, n_movements)`` queue arrays (the
+:class:`~repro.core.engine.BatchControlArrays` façade), using the
+``*_array`` pressure kernels of :mod:`repro.core.pressure`.
+
+Parity is the contract, not an aspiration: for every replication the
+batched decisions are *identical* — same comparisons, same float
+evaluation order, same tie-breaks — to those of the serial controller of
+the same name and parameters.  ``tests/test_control_batch.py`` asserts
+decision-for-decision lockstep against the serial controllers, and the
+engine parity suite pins the whole closed loop.
+
+Three controllers batch (registered in :mod:`repro.core.engine` by their
+factory names):
+
+* ``util-bp`` — :class:`BatchUtilBpController`, Algorithm 1's three
+  cases on ``(B, N)`` state arrays;
+* ``cap-bp`` — :class:`BatchCapBpController`, the fixed-slot driver plus
+  capacity-normalized weights;
+* ``original-bp`` — :class:`BatchOriginalBpController`, fixed slots with
+  Eq. 5 gains on total incoming queues.
+
+``fixed-time`` is open-loop (its decisions ignore the observation), so a
+batched run of it already amortizes through the engine's shared-phase
+compression; it keeps the per-replication path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.core.config import UtilBpConfig
+from repro.core.engine import BatchControlArrays, register_batch_controller
+from repro.core.pressure import (
+    keep_threshold_array,
+    link_gain_array,
+    link_gain_original_array,
+    max_link_gain_array,
+    phase_gain_array,
+)
+from repro.model.network import Network
+from repro.util.validation import check_positive
+
+__all__ = [
+    "BatchNetworkController",
+    "BatchUtilBpController",
+    "BatchCapBpController",
+    "BatchOriginalBpController",
+]
+
+#: Sentinel above any real phase index, for masked index minima.
+_NO_PHASE = np.iinfo(np.int64).max
+
+
+@runtime_checkable
+class BatchNetworkController(Protocol):
+    """A controller deciding for every replication of a batch at once.
+
+    The counterpart of :class:`~repro.control.base.NetworkController`
+    for batch engines: instead of one observation map per replication it
+    consumes the engine's :class:`BatchControlArrays` and returns the
+    ``(batch_size, n_nodes)`` integer array of phase decisions (0 =
+    transition/amber), node columns in ``node_ids`` order.
+    """
+
+    batch_size: int
+    node_ids: Tuple[str, ...]
+    movement_keys: Tuple[Tuple[str, str], ...]
+
+    def decide_batch(self, arrays: BatchControlArrays) -> np.ndarray:
+        """Phase decisions for the next mini-slot, all replications."""
+        ...
+
+    def reset(self) -> None:
+        """Forget all internal state (e.g. between experiment runs)."""
+        ...
+
+
+class _NetworkLayout:
+    """Static array tables of one network, in the canonical batch layout.
+
+    The movement axis is node-major over ``network.intersections``
+    order with each intersection's movements in declaration order —
+    the same layout ``BatchCountsSimulator`` builds, so engine arrays
+    and controller tables align column-for-column (checked once via
+    ``movement_keys`` when the runner wires the two together).
+
+    Phase structure is densified for the segment reductions: phase slot
+    ``p`` of node ``n`` is ``intersections[n].phases[p]``, movement slot
+    ``j`` of a phase is its j-th declared movement, and boolean masks
+    cover the ragged padding.
+    """
+
+    def __init__(self, network: Network):
+        node_ids = list(network.intersections)
+        intersections = [network.intersections[n] for n in node_ids]
+        self.node_ids: Tuple[str, ...] = tuple(node_ids)
+        N = len(node_ids)
+
+        movement_keys = []
+        node_of = []
+        out_cap = []
+        in_cap = []
+        rate = []
+        gid_of = {}
+        in_code = []
+        code_of = {}
+        for n, inter in enumerate(intersections):
+            for key, movement in inter.movements.items():
+                gid_of[(n, key)] = len(movement_keys)
+                movement_keys.append(key)
+                node_of.append(n)
+                out_cap.append(inter.out_roads[movement.out_road].capacity)
+                in_cap.append(inter.in_roads[movement.in_road].capacity)
+                rate.append(movement.service_rate)
+                road = (n, movement.in_road)
+                in_code.append(code_of.setdefault(road, len(code_of)))
+        self.movement_keys: Tuple[Tuple[str, str], ...] = tuple(movement_keys)
+        self.n_movements = len(movement_keys)
+        self.m_out_cap = np.array(out_cap, dtype=np.int64)
+        self.m_in_cap = np.array(in_cap, dtype=np.int64)
+        self.m_rate = np.array(rate, dtype=np.float64)
+        self._in_code = np.array(in_code, dtype=np.int64)
+        self._n_in_roads = len(code_of)
+
+        # W* (Eq. 7) is per intersection: the largest outgoing capacity.
+        w_star = np.array(
+            [
+                max(road.capacity for road in inter.out_roads.values())
+                for inter in intersections
+            ],
+            dtype=np.int64,
+        )
+        self.node_w_star = w_star
+        self.m_w_star = w_star.astype(np.float64)[np.array(node_of)]
+
+        # Dense phase tables (N, P) / (N, P, L) with validity masks.
+        P = max(len(inter.phases) for inter in intersections)
+        L = max(
+            (len(phase.movements) for inter in intersections
+             for phase in inter.phases),
+            default=1,
+        )
+        max_index = max(
+            phase.index for inter in intersections for phase in inter.phases
+        )
+        self.max_index = max_index
+        self.members = np.zeros((N, P, L), dtype=np.int64)
+        self.member_valid = np.zeros((N, P, L), dtype=bool)
+        self.member_rate = np.zeros((N, P, L), dtype=np.float64)
+        self.phase_index = np.zeros((N, P), dtype=np.int64)
+        self.phase_valid = np.zeros((N, P), dtype=bool)
+        self.slot_of = np.full((N, max_index + 1), -1, dtype=np.int64)
+        self.first_phase = np.array(
+            [inter.phases[0].index for inter in intersections], dtype=np.int64
+        )
+        for n, inter in enumerate(intersections):
+            for p, phase in enumerate(inter.phases):
+                self.phase_index[n, p] = phase.index
+                self.phase_valid[n, p] = True
+                self.slot_of[n, phase.index] = p
+                for j, movement in enumerate(phase.movements):
+                    self.members[n, p, j] = gid_of[(n, movement.key)]
+                    self.member_valid[n, p, j] = True
+                    self.member_rate[n, p, j] = movement.service_rate
+        self._node_cols = np.arange(N)[None, :]
+
+    def current_slot(self, current: np.ndarray) -> np.ndarray:
+        """Dense phase slot of each ``(b, n)`` running phase (-1: amber).
+
+        ``current`` holds paper phase indices; 0 (amber) and indices a
+        node does not define map to -1 — callers mask those cells.
+        """
+        safe = np.clip(current, 0, self.max_index)
+        slot = self.slot_of[self._node_cols, safe]
+        return np.where(current == 0, -1, slot)
+
+    def incoming_totals(self, queues: np.ndarray) -> np.ndarray:
+        """Eq. 1 per movement: its incoming road's total queue, batched."""
+        flat = queues.reshape(-1, queues.shape[-1])
+        sums = np.zeros((flat.shape[0], self._n_in_roads), dtype=np.int64)
+        np.add.at(sums, (slice(None), self._in_code), flat)
+        return sums[:, self._in_code].reshape(queues.shape)
+
+    def take_per_slot(
+        self, table: np.ndarray, slot: np.ndarray
+    ) -> np.ndarray:
+        """Gather ``table[..., slot]`` along the phase axis, per cell.
+
+        ``table`` is ``(B, N, P)``, ``slot`` is ``(B, N)`` (negative
+        slots read slot 0 — callers mask those cells afterwards).
+        """
+        safe = np.maximum(slot, 0)
+        return np.take_along_axis(table, safe[..., None], axis=2)[..., 0]
+
+
+class _BatchControllerBase:
+    """Shared construction and state plumbing of the batched controllers."""
+
+    def __init__(self, network: Network, batch_size: int):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if not network.intersections:
+            raise ValueError("network has no intersections to control")
+        self.batch_size = int(batch_size)
+        self._layout = _NetworkLayout(network)
+        self.node_ids = self._layout.node_ids
+        self.movement_keys = self._layout.movement_keys
+        self._shape = (self.batch_size, len(self.node_ids))
+        self.reset()
+
+    def reset(self) -> None:
+        #: c(k-1) per (replication, node); 0 is the transition phase.
+        self._current = np.zeros(self._shape, dtype=np.int64)
+
+    def _check(self, arrays: BatchControlArrays) -> None:
+        expected = (self.batch_size, self._layout.n_movements)
+        if arrays.queues.shape != expected:
+            raise ValueError(
+                f"batch observation shape {arrays.queues.shape} does not "
+                f"match the controller layout {expected}"
+            )
+
+
+class BatchUtilBpController(_BatchControllerBase):
+    """UTIL-BP (Algorithm 1) on whole replication batches.
+
+    The three cases are evaluated as masks over ``(B, N)`` cells, each
+    the exact vectorization of :class:`~repro.core.util_bp.UtilBpController`:
+
+    1. a transition phase is running and its timer has not expired —
+       keep it;
+    2. a control phase is running and its best link gain exceeds the
+       Eq.-12 threshold — keep it;
+    3. select anew: restrict to utilization-guaranteeing phases ranked
+       by total gain when any exists (``g_max > alpha``), else rank all
+       phases by best link gain; equal scores prefer the running phase,
+       then the lowest phase index.  A selection differing from the
+       running control phase arms the transition timer and shows amber.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        batch_size: int,
+        config: UtilBpConfig | None = None,
+    ):
+        self.config = config or UtilBpConfig()
+        super().__init__(network, batch_size)
+
+    def reset(self) -> None:
+        super().reset()
+        #: t_{Delta k} per (replication, node).
+        self._transition_until = np.full(self._shape, -math.inf)
+
+    def decide_batch(self, arrays: BatchControlArrays) -> np.ndarray:
+        self._check(arrays)
+        lay = self._layout
+        cfg = self.config
+        t_k = arrays.time
+        previous = self._current
+
+        gains = link_gain_array(
+            arrays.queues,
+            arrays.out_queues,
+            lay.m_out_cap,
+            lay.m_w_star,
+            lay.m_rate,
+            cfg.alpha,
+            cfg.beta,
+        )
+        # Per-phase reductions (B, N, P): Eq. 11 max + arg, Eq. 10 sum.
+        g_max, arg = max_link_gain_array(gains, lay.members, lay.member_valid)
+        mu_of_arg = lay.member_rate[
+            np.arange(len(lay.node_ids))[:, None],
+            np.arange(lay.member_rate.shape[1])[None, :],
+            arg,
+        ]
+        g_max = np.where(lay.phase_valid, g_max, -np.inf)
+
+        # Case 1: transition running, timer not expired.
+        case1 = (previous == 0) & (t_k < self._transition_until)
+
+        # Case 2: current control phase still above the keep threshold.
+        slot = lay.current_slot(previous)
+        g_cur = lay.take_per_slot(g_max, slot)
+        mu_cur = lay.take_per_slot(mu_of_arg, slot)
+        threshold = keep_threshold_array(lay.node_w_star, mu_cur)
+        threshold = threshold - cfg.keep_margin * mu_cur
+        case2 = (previous != 0) & (g_cur > threshold)
+
+        # Case 3: utilization-aware selection over all phases.
+        g_sum = phase_gain_array(gains, lay.members, lay.member_valid)
+        best_overall = g_max.max(axis=2)
+        scores = np.where(
+            (best_overall > cfg.alpha)[..., None],
+            np.where(g_max > cfg.alpha, g_sum, -np.inf),
+            g_max,
+        )
+        best_score = scores.max(axis=2)
+        is_best = (scores == best_score[..., None]) & lay.phase_valid
+        current_is_best = (
+            lay.take_per_slot(is_best, slot) & (slot >= 0)
+        )
+        lowest_best = np.where(is_best, lay.phase_index, _NO_PHASE).min(axis=2)
+        selected = np.where(current_is_best, previous, lowest_best)
+
+        direct = (selected == previous) | (previous == 0)
+        arm = ~case1 & ~case2 & ~direct
+        decision = np.where(
+            case1,
+            0,
+            np.where(case2, previous, np.where(direct, selected, 0)),
+        )
+        self._transition_until = np.where(
+            arm, t_k + cfg.transition_duration, self._transition_until
+        )
+        self._current = decision
+        return decision
+
+
+class _BatchFixedSlotController(_BatchControllerBase):
+    """The fixed-length-slot driver of the conventional baselines, batched.
+
+    Vectorizes :class:`~repro.control.base.FixedSlotController`: per
+    ``(b, n)`` cell the phase is re-selected only at slot boundaries, a
+    changed selection first shows amber for ``transition_duration``
+    (the selection is parked in ``_pending``), an unchanged selection
+    extends the slot seamlessly, and the very first decision starts its
+    slot without an amber.  Subclasses provide ``_select``.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        batch_size: int,
+        period: float,
+        transition_duration: float = 4.0,
+    ):
+        check_positive("period", period)
+        check_positive("transition_duration", transition_duration)
+        self.period = float(period)
+        self.transition_duration = float(transition_duration)
+        super().__init__(network, batch_size)
+
+    def reset(self) -> None:
+        super().reset()
+        self._slot_end = np.full(self._shape, -math.inf)
+        self._transition_until = np.full(self._shape, -math.inf)
+        #: Parked selection awaiting its amber to finish (-1: none).
+        self._pending = np.full(self._shape, -1, dtype=np.int64)
+
+    def _select(
+        self, arrays: BatchControlArrays, previous: np.ndarray
+    ) -> np.ndarray:
+        """Per-cell slot selection (paper phase indices, never 0)."""
+        raise NotImplementedError
+
+    def decide_batch(self, arrays: BatchControlArrays) -> np.ndarray:
+        self._check(arrays)
+        now = arrays.time
+        previous = self._current
+        selection = self._select(arrays, previous)
+
+        has_pending = self._pending >= 0
+        amber_wait = has_pending & (now < self._transition_until)
+        promote = has_pending & ~amber_wait
+        expired = ~has_pending & (now >= self._slot_end)
+        hold = ~has_pending & ~expired
+        unchanged = selection == previous
+        first = (previous == 0) & np.isneginf(self._slot_end)
+        start = expired & (unchanged | first)
+        arm = expired & ~(unchanged | first)
+
+        decision = np.where(
+            amber_wait,
+            0,
+            np.where(
+                promote,
+                self._pending,
+                np.where(hold, previous, np.where(start, selection, 0)),
+            ),
+        )
+        self._slot_end = np.where(
+            promote | start, now + self.period, self._slot_end
+        )
+        self._transition_until = np.where(
+            arm, now + self.transition_duration, self._transition_until
+        )
+        self._pending = np.where(
+            promote, -1, np.where(arm, selection, self._pending)
+        )
+        self._current = decision
+        return decision
+
+
+class BatchCapBpController(_BatchFixedSlotController):
+    """CAP-BP on whole replication batches.
+
+    The exact vectorization of
+    :class:`~repro.control.cap_bp.CapBpController`: capacity-normalized
+    link weights (full downstream roads contribute nothing), phase score
+    as the sum of positive weights, work conservation at slot
+    granularity (prefer phases that can serve a vehicle), ties towards
+    the lowest index, and an all-zero-score slot keeps the running phase.
+    """
+
+    def _select(
+        self, arrays: BatchControlArrays, previous: np.ndarray
+    ) -> np.ndarray:
+        lay = self._layout
+        queues = arrays.queues
+        out_queues = arrays.out_queues
+        full = out_queues >= lay.m_out_cap
+        weight = lay.m_rate * (
+            queues / lay.m_in_cap - out_queues / lay.m_out_cap
+        )
+        contribution = np.maximum(0.0, np.where(full, 0.0, weight))
+        scores = phase_gain_array(contribution, lay.members, lay.member_valid)
+        servable_m = (queues > 0) & ~full
+        servable = np.any(
+            servable_m[..., lay.members] & lay.member_valid, axis=-1
+        )
+        candidates = np.where(
+            servable.any(axis=2)[..., None], servable, lay.phase_valid
+        )
+        masked = np.where(candidates, scores, -np.inf)
+        best_score = masked.max(axis=2)
+        is_best = candidates & (masked == best_score[..., None])
+        lowest_best = np.where(is_best, lay.phase_index, _NO_PHASE).min(axis=2)
+        slot = lay.current_slot(previous)
+        current_is_best = lay.take_per_slot(is_best, slot) & (slot >= 0)
+        return np.where(
+            (best_score == 0.0) & current_is_best, previous, lowest_best
+        )
+
+
+class BatchOriginalBpController(_BatchFixedSlotController):
+    """Original back-pressure (Varaiya) on whole replication batches.
+
+    The exact vectorization of
+    :class:`~repro.control.original_bp.OriginalBpController`: Eq.-5
+    gains on *total* incoming queues, the first phase with the highest
+    total gain wins, and an all-zero gain state keeps the running phase
+    (or starts the first phase when none is running).
+    """
+
+    def _select(
+        self, arrays: BatchControlArrays, previous: np.ndarray
+    ) -> np.ndarray:
+        lay = self._layout
+        gains = link_gain_original_array(
+            lay.incoming_totals(arrays.queues),
+            arrays.out_queues,
+            lay.m_rate,
+        )
+        scores = phase_gain_array(gains, lay.members, lay.member_valid)
+        scores = np.where(lay.phase_valid, scores, -np.inf)
+        arg = scores.argmax(axis=2)
+        best = np.take_along_axis(scores, arg[..., None], axis=2)[..., 0]
+        selected = lay.phase_index[lay._node_cols, arg]
+        keep = np.where(previous != 0, previous, lay.first_phase)
+        return np.where(best == 0.0, keep, selected)
+
+
+# -- factory registration -----------------------------------------------------
+
+
+def _build_util_bp(
+    network: Network, batch_size: int, **kwargs: Any
+) -> BatchUtilBpController:
+    config_kwargs = {
+        key: kwargs.pop(key)
+        for key in (
+            "transition_duration",
+            "alpha",
+            "beta",
+            "mini_slot",
+            "keep_margin",
+        )
+        if key in kwargs
+    }
+    if kwargs:
+        raise TypeError(f"unknown util-bp parameters: {sorted(kwargs)}")
+    return BatchUtilBpController(
+        network, batch_size, UtilBpConfig(**config_kwargs)
+    )
+
+
+def _build_fixed_slot(cls):
+    def build(network: Network, batch_size: int, **kwargs: Any):
+        if "period" not in kwargs:
+            raise TypeError(f"{cls.__name__} requires a 'period' parameter")
+        return cls(network, batch_size, **kwargs)
+
+    return build
+
+
+register_batch_controller("util-bp", _build_util_bp)
+register_batch_controller("cap-bp", _build_fixed_slot(BatchCapBpController))
+register_batch_controller(
+    "original-bp", _build_fixed_slot(BatchOriginalBpController)
+)

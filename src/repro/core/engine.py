@@ -20,11 +20,20 @@ implements the :class:`SimulationEngine` protocol:
 Engines are registered by name so experiments, the orchestration pool
 and the CLI can select them with a string.  The built-in engines are
 imported lazily: meso-only users never pay the microscopic import.
+
+Batched *controllers* register here too, alongside the batch engines:
+a :class:`~repro.control.batch.BatchNetworkController` computes the
+phase decisions of all B replications at once on the engine's internal
+arrays (no per-replication ``QueueObservation`` round-trip), and
+:class:`BatchControlArrays` is the array-shaped ``Q(k)`` contract a
+batch engine hands it each mini-slot.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import (
+    Any,
     Callable,
     Dict,
     List,
@@ -36,16 +45,20 @@ from typing import (
     runtime_checkable,
 )
 
+import numpy as np
+
 from repro.metrics.collector import MetricsCollector, Summary
 from repro.metrics.utilization import UtilizationTracker
 from repro.model.queues import QueueObservation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.experiments.scenario import Scenario
+    from repro.model.network import Network
 
 __all__ = [
     "SimulationEngine",
     "BatchEngine",
+    "BatchControlArrays",
     "ENGINE_NAMES",
     "register_engine",
     "engine_names",
@@ -56,7 +69,40 @@ __all__ = [
     "has_batch_engine",
     "batch_provider_module",
     "build_batch_engine",
+    "register_batch_controller",
+    "batch_controller_names",
+    "has_batch_controller",
+    "build_batch_controller",
 ]
+
+
+@dataclass(frozen=True)
+class BatchControlArrays:
+    """The batched ``Q(k)``: one mini-slot's sensor view for all B reps.
+
+    The movement axis follows the producing engine's canonical layout:
+    node-major over ``network.intersections`` order, movements in each
+    intersection's declaration order — the same layout
+    :class:`~repro.control.batch.BatchNetworkController` derives from
+    the network, so the two sides agree by construction (and verify it
+    once via ``movement_keys``).
+
+    Attributes
+    ----------
+    time:
+        The observation time ``t_k`` (shared by every replication).
+    queues:
+        ``q_i^{i'}(k)`` — ``(B, n_movements)`` sensed movement queues
+        (including units inside the engine's sensing horizon, exactly
+        as the per-replication observations report them).
+    out_queues:
+        ``q_{i'}(k)`` — ``(B, n_movements)`` outgoing-road queue seen
+        by each movement, under the engine's out-queue sensing mode.
+    """
+
+    time: float
+    queues: np.ndarray
+    out_queues: np.ndarray
 
 
 @runtime_checkable
@@ -281,3 +327,75 @@ def build_batch_engine(
             f"{list(batch_engine_names())}"
         )
     return builder(scenarios)
+
+
+# -- batch controllers --------------------------------------------------------
+#
+# Mirrors the batch-engine registry: controllers that can decide for a
+# whole replication batch at once (on BatchControlArrays) register a
+# builder by the same short name the serial factory uses, and the
+# closed-loop batch runner picks the batched kernel whenever both the
+# engine and the controller support it.
+
+#: Batch-controller constructors
+#: (``builder(network, batch_size, **params) -> BatchNetworkController``).
+_BATCH_CONTROLLER_BUILDERS: Dict[str, Callable[..., Any]] = {}
+
+#: Modules whose import registers a built-in batch controller.
+_BUILTIN_BATCH_CONTROLLER_MODULES: Dict[str, str] = {
+    "util-bp": "repro.control.batch",
+    "cap-bp": "repro.control.batch",
+    "original-bp": "repro.control.batch",
+}
+
+
+def register_batch_controller(
+    name: str, builder: Callable[..., Any]
+) -> None:
+    """Register a batch-controller constructor by controller name.
+
+    ``builder(network, batch_size, **params)`` must return a
+    :class:`~repro.control.batch.BatchNetworkController` whose
+    decisions are, per replication, identical to those of the serial
+    controller of the same name and parameters.
+    """
+    _BATCH_CONTROLLER_BUILDERS[name] = builder
+
+
+def batch_controller_names() -> tuple:
+    """All controller names with a batched implementation."""
+    return tuple(
+        sorted(
+            set(_BATCH_CONTROLLER_BUILDERS)
+            | set(_BUILTIN_BATCH_CONTROLLER_MODULES)
+        )
+    )
+
+
+def has_batch_controller(name: str) -> bool:
+    """Whether controller ``name`` can decide whole batches at once."""
+    return (
+        name in _BATCH_CONTROLLER_BUILDERS
+        or name in _BUILTIN_BATCH_CONTROLLER_MODULES
+    )
+
+
+def build_batch_controller(
+    name: str, network: "Network", batch_size: int, **params: Any
+) -> Any:
+    """Instantiate a batched network controller by controller name."""
+    if (
+        name not in _BATCH_CONTROLLER_BUILDERS
+        and name in _BUILTIN_BATCH_CONTROLLER_MODULES
+    ):
+        import importlib
+
+        importlib.import_module(_BUILTIN_BATCH_CONTROLLER_MODULES[name])
+    try:
+        builder = _BATCH_CONTROLLER_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown batch controller {name!r}; known: "
+            f"{list(batch_controller_names())}"
+        )
+    return builder(network, batch_size, **params)

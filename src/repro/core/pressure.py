@@ -14,11 +14,22 @@ The notions implemented here, with their equation numbers in the paper:
 * ``max_link_gain`` — the maximum constituent link gain,
   ``g_max(c_j, k)`` (Eq. 11), together with the arg-max link
   ``L_max(c_j, k)`` needed by the keep-phase threshold of Eq. 12.
+
+Each scalar function has an ``*_array`` twin operating on whole
+``(B, n_movements)`` queue/occupancy arrays — the kernels behind the
+batched controllers (:mod:`repro.control.batch`).  The array variants
+are *bit-for-bit* equivalent to mapping the scalar function over every
+(replication, movement) cell: comparisons are the same, and the
+floating-point evaluation order of every sum and product is preserved
+(phase sums accumulate left-to-right in declaration order), so batched
+decisions never diverge from serial ones by rounding.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Tuple
+
+import numpy as np
 
 from repro.model.movements import Movement
 from repro.model.phases import Phase
@@ -31,6 +42,11 @@ __all__ = [
     "phase_gain",
     "max_link_gain",
     "keep_threshold",
+    "link_gain_array",
+    "link_gain_original_array",
+    "phase_gain_array",
+    "max_link_gain_array",
+    "keep_threshold_array",
 ]
 
 
@@ -132,3 +148,95 @@ def keep_threshold(obs: QueueObservation, movement: Movement) -> float:
     Eq. 8).
     """
     return float(obs.max_capacity()) * movement.service_rate
+
+
+# -- batched array kernels ----------------------------------------------------
+#
+# The array variants take movement-aligned arrays whose trailing axis
+# enumerates movements (typically shape ``(B, M)`` for B replications,
+# but any leading shape broadcasts).  Phase structure enters through a
+# dense membership table: ``members[..., j]`` is the movement column of
+# the phase's j-th declared movement and ``valid[..., j]`` masks the
+# padding of ragged phases.  The membership axes are arbitrary — the
+# batched controllers use ``(n_nodes, max_phases, max_members)`` — and
+# the outputs take the gains' leading axes plus the members' leading
+# axes.
+
+
+def link_gain_array(
+    queues: np.ndarray,
+    out_queues: np.ndarray,
+    out_capacities: np.ndarray,
+    w_star: np.ndarray,
+    service_rates: np.ndarray,
+    alpha: float,
+    beta: float,
+) -> np.ndarray:
+    """Eq. 8 evaluated elementwise on movement-aligned arrays.
+
+    ``queues``/``out_queues`` hold ``q_i^{i'}``/``q_{i'}`` per movement;
+    ``out_capacities``, ``w_star`` (the movement's intersection ``W*``)
+    and ``service_rates`` are the static per-movement columns.  Exactly
+    :func:`link_gain` per cell, including the check order (a full
+    outgoing road wins over an empty incoming movement).
+    """
+    if alpha >= 0 or beta >= 0:
+        raise ValueError(
+            f"alpha and beta must be negative, got alpha={alpha}, beta={beta}"
+        )
+    general = (
+        queues.astype(np.float64) - out_queues + w_star
+    ) * service_rates
+    gains = np.where(queues == 0, alpha, general)
+    return np.where(out_queues >= out_capacities, beta, gains)
+
+
+def link_gain_original_array(
+    incoming_totals: np.ndarray,
+    out_queues: np.ndarray,
+    service_rates: np.ndarray,
+) -> np.ndarray:
+    """Eq. 5 on movement-aligned arrays (``incoming_totals`` is ``q_i``)."""
+    return np.maximum(
+        0.0,
+        (incoming_totals.astype(np.float64) - out_queues) * service_rates,
+    )
+
+
+def phase_gain_array(
+    gains: np.ndarray, members: np.ndarray, valid: np.ndarray
+) -> np.ndarray:
+    """Eq. 10 as a dense segment reduction over phase memberships.
+
+    Sums ``gains[..., members[..., j]]`` over the membership axis.  The
+    accumulation is an explicit left-to-right loop over the (short)
+    membership axis so the float addition order matches the scalar
+    ``sum(link_gain(m) for m in phase.movements)`` exactly.
+    """
+    gathered = gains[..., members]
+    total = np.zeros(gathered.shape[:-1], dtype=np.float64)
+    for j in range(gathered.shape[-1]):
+        total = total + np.where(valid[..., j], gathered[..., j], 0.0)
+    return total
+
+
+def max_link_gain_array(
+    gains: np.ndarray, members: np.ndarray, valid: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Eq. 11 as a masked argmax over phase memberships.
+
+    Returns ``(g_max, argmax_position)`` where the position indexes the
+    membership axis (the phase's declaration order).  ``np.argmax``
+    takes the first maximal entry, matching the scalar tie-break.
+    """
+    gathered = np.where(valid, gains[..., members], -np.inf)
+    arg = gathered.argmax(axis=-1)
+    g_max = np.take_along_axis(gathered, arg[..., None], axis=-1)[..., 0]
+    return g_max, arg
+
+
+def keep_threshold_array(
+    max_capacities: np.ndarray, service_rates: np.ndarray
+) -> np.ndarray:
+    """Eq. 12 on arrays: ``g* = W* mu`` with ``mu`` of the arg-max link."""
+    return max_capacities.astype(np.float64) * service_rates

@@ -15,6 +15,7 @@ compatibility.
 from __future__ import annotations
 
 import math
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence, Tuple
 
@@ -23,8 +24,10 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 from repro.core.engine import (
     BatchEngine,
     SimulationEngine,
+    build_batch_controller,
     build_batch_engine,
     build_engine,
+    has_batch_controller,
     register_engine,
 )
 from repro.control.factory import make_network_controller
@@ -229,11 +232,22 @@ def run_scenario_batch(
 
     ``scenarios`` share the workload shape (same network, demand and
     turning model — typically one :class:`Scenario` per seed); each
-    replication is driven by its own controller instance against its
-    own observations, exactly as :func:`run_scenario` would drive it
-    alone.  Returns one :class:`RunResult` per scenario, in order, and
-    — by the batch engines' parity contract — each result equals the
-    single-run result for that scenario and engine.
+    replication is decided exactly as :func:`run_scenario` would decide
+    it alone.  Returns one :class:`RunResult` per scenario, in order,
+    and — by the batch engines' parity contract — each result equals
+    the single-run result for that scenario and engine.
+
+    When both the controller and the engine support it, the closed loop
+    runs *batched*: one
+    :class:`~repro.control.batch.BatchNetworkController` computes every
+    replication's decisions on the engine's internal arrays (the
+    ``controller_arrays`` façade), skipping the per-replication
+    ``QueueObservation`` construction and Python controller loop.  The
+    batched kernel is decision-for-decision identical to the serial
+    controllers, so results do not depend on which path ran.  Anything
+    else — an unknown controller, an engine without the array façade —
+    falls back to per-replication controllers with a one-line notice on
+    stderr, so a silently de-vectorized sweep is visible in its logs.
     """
     if not scenarios:
         return []
@@ -244,12 +258,40 @@ def run_scenario_batch(
     check_positive("duration", horizon)
 
     sim: BatchEngine = build_batch_engine(scenarios, engine)
-    controllers = [
-        make_network_controller(
-            controller, first.network, **(controller_params or {})
+    batch_controller = None
+    if has_batch_controller(controller) and hasattr(sim, "controller_arrays"):
+        candidate = build_batch_controller(
+            controller,
+            first.network,
+            len(scenarios),
+            **(controller_params or {}),
         )
-        for _ in scenarios
-    ]
+        layout = getattr(sim, "movement_layout", None)
+        if layout == (candidate.node_ids, candidate.movement_keys):
+            batch_controller = candidate
+    controllers = []
+    if batch_controller is None:
+        if controller != "fixed-time":
+            # fixed-time is open-loop; its per-replication instances
+            # produce one shared phase pattern the engine compresses,
+            # so only closed-loop fallbacks are worth flagging.
+            print(
+                f"repro: closed-loop batch of {len(scenarios)} replications "
+                f"falling back to per-replication {controller!r} controllers "
+                f"(no batched implementation)",
+                file=sys.stderr,
+            )
+        controllers = [
+            make_network_controller(
+                controller, first.network, **(controller_params or {})
+            )
+            for _ in scenarios
+        ]
+    node_column = (
+        {node_id: i for i, node_id in enumerate(batch_controller.node_ids)}
+        if batch_controller is not None and record_phases
+        else {}
+    )
     phase_traces = [
         {node_id: PhaseTrace(node_id) for node_id in record_phases}
         for _ in scenarios
@@ -266,17 +308,33 @@ def run_scenario_batch(
     steps = int(round(horizon / mini_slot))
     for _ in range(steps):
         now = sim.time
-        observations = sim.observations()
-        decisions = [
-            network_controller.decide(obs)
-            for network_controller, obs in zip(controllers, observations)
-        ]
-        for rep_decisions, traces in zip(decisions, phase_traces):
-            for node_id, trace in traces.items():
-                trace.record(
-                    now,
-                    rep_decisions.get(node_id, TRANSITION_PHASE_INDEX),
-                )
+        if batch_controller is not None:
+            decision_array = batch_controller.decide_batch(
+                sim.controller_arrays()
+            )
+            if record_phases:
+                for b, traces in enumerate(phase_traces):
+                    for node_id, trace in traces.items():
+                        column = node_column.get(node_id)
+                        trace.record(
+                            now,
+                            TRANSITION_PHASE_INDEX
+                            if column is None
+                            else int(decision_array[b, column]),
+                        )
+            decisions = decision_array
+        else:
+            observations = sim.observations()
+            decisions = [
+                network_controller.decide(obs)
+                for network_controller, obs in zip(controllers, observations)
+            ]
+            for rep_decisions, traces in zip(decisions, phase_traces):
+                for node_id, trace in traces.items():
+                    trace.record(
+                        now,
+                        rep_decisions.get(node_id, TRANSITION_PHASE_INDEX),
+                    )
         if record_queues and now >= next_queue_sample:
             road_totals = {
                 road: sim.incoming_queue_total(road)

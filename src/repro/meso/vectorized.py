@@ -68,7 +68,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.engine import register_batch_engine, register_engine
+from repro.core.engine import (
+    BatchControlArrays,
+    register_batch_engine,
+    register_engine,
+)
 from repro.metrics.aggregate import BatchAggregateMetricsCollector
 from repro.metrics.collector import Summary
 from repro.metrics.utilization import UtilizationTracker
@@ -178,6 +182,7 @@ class BatchCountsSimulator:
         is_exit_road = np.array(
             [network.road_destination[r] == BOUNDARY for r in road_ids]
         )
+        self._is_exit_road = is_exit_road
         self._transit_time = np.array(
             [
                 travel_time
@@ -538,6 +543,67 @@ class BatchCountsSimulator:
             return int(self._queue_len[b, gids].sum())
         occupancy = int(self._occ[b, ri])
         return occupancy if occupancy >= int(self._caps[ri]) else 0
+
+    # -- batched controller façade -------------------------------------------
+
+    @property
+    def movement_layout(self):
+        """``(node_ids, movement_keys)`` — the batch arrays' column order.
+
+        The canonical layout a :class:`~repro.control.batch.
+        BatchNetworkController` derives from the same network; the
+        closed-loop batch runner compares the two tuples once before
+        trusting the array alignment.
+        """
+        return tuple(self._node_ids), tuple(self._movement_keys)
+
+    def controller_arrays(self) -> BatchControlArrays:
+        """The batched ``Q(k)`` for in-engine controller kernels.
+
+        Movement-aligned array views of exactly what
+        :meth:`observations` reports — the same sensed in-transit
+        augmentation of the stop-line queues and the same out-queue
+        sensing mode — without materializing B per-node dict networks.
+        When nothing is inside the sensing horizon the queue array is a
+        read-only zero-copy view of the engine's internal state.
+        """
+        now = self.time
+        deadline = now + self._sensing_horizon
+        sensed = self._head_ready <= deadline
+        if sensed.any():
+            queues = self._queue_len.copy()
+            road_ids = self._road_ids
+            gid_by_out = self._gid_by_out
+            for b, ri in np.argwhere(sensed).tolist():
+                gids = gid_by_out[ri]
+                road_id = road_ids[ri]
+                row = queues[b]
+                for ready, units in self._transit[b][ri]:
+                    if ready > deadline:
+                        break
+                    for unit in units:
+                        row[gids[unit[road_id]]] += 1
+        else:
+            queues = self._queue_len.view()
+            queues.flags.writeable = False
+        if self._out_queue_mode == "spillback":
+            road_out = np.where(
+                self._occ >= self._caps[None, :], self._occ, 0
+            )
+        elif self._out_queue_mode == "occupancy":
+            # Exit-road occupancy is structurally zero (exit movements
+            # leave the network), matching the 0 the dict path reports.
+            road_out = self._occ
+        else:  # halting: queued vehicles at the road's own stop line
+            road_out = np.zeros_like(self._occ)
+            np.add.at(
+                road_out, (slice(None), self._in_idx), self._queue_len
+            )
+        return BatchControlArrays(
+            time=now,
+            queues=queues,
+            out_queues=road_out[:, self._out_idx],
+        )
 
     # -- stepping ------------------------------------------------------------
 

@@ -1,13 +1,19 @@
-"""Tests for repro.core.pressure — Eqs. 4-12."""
+"""Tests for repro.core.pressure — Eqs. 4-12 and their array twins."""
 
+import numpy as np
 import pytest
 
 from repro.core.pressure import (
     keep_threshold,
+    keep_threshold_array,
     link_gain,
+    link_gain_array,
     link_gain_original,
+    link_gain_original_array,
     max_link_gain,
+    max_link_gain_array,
     phase_gain,
+    phase_gain_array,
     pressure,
 )
 from tests.conftest import make_observation
@@ -173,3 +179,171 @@ class TestKeepThreshold:
             )
             gain = link_gain(m, obs, ALPHA, BETA)
             assert (gain > keep_threshold(obs, m)) == (q_move > q_out)
+
+
+class TestArrayKernels:
+    """The ``*_array`` kernels against their scalar twins, cell by cell.
+
+    Randomized observations sweep the general case together with both
+    special branches (empty movements -> alpha, spillback-full outgoing
+    roads -> beta); the ``empty`` and ``full`` modes pin the all-empty
+    and all-full extremes where only a special branch can fire.
+    Equality is exact (``==``), not approximate — the array kernels
+    promise the scalar functions' float results bit for bit.
+    """
+
+    BATCH = 16
+    SEEDS = {"mixed": 1, "empty": 2, "full": 3}
+
+    @pytest.fixture
+    def movements(self, intersection):
+        return [
+            m
+            for in_road in sorted(intersection.in_roads)
+            for m in intersection.movements_from(in_road)
+        ]
+
+    def _observations(self, intersection, movements, mode):
+        rng = np.random.default_rng(self.SEEDS[mode])
+        batch = []
+        for _ in range(self.BATCH):
+            movement_queues = {}
+            out_queues = {}
+            if mode != "empty":
+                movement_queues = {
+                    m.key: int(rng.integers(0, 8)) for m in movements
+                }
+            for road_id, road in intersection.out_roads.items():
+                if mode == "full":
+                    out_queues[road_id] = road.capacity
+                elif mode == "mixed":
+                    # capacity included: the beta branch must fire
+                    # inside otherwise-general batches, not only in the
+                    # all-full extreme.
+                    out_queues[road_id] = int(
+                        rng.choice(
+                            [0, 1, 5, road.capacity - 1, road.capacity]
+                        )
+                    )
+            batch.append(
+                make_observation(
+                    intersection,
+                    movement_queues=movement_queues,
+                    out_queues=out_queues,
+                )
+            )
+        return batch
+
+    def _arrays(self, movements, batch):
+        queues = np.array(
+            [
+                [obs.movement_queue(m.in_road, m.out_road) for m in movements]
+                for obs in batch
+            ]
+        )
+        out_queues = np.array(
+            [[obs.out_queue(m.out_road) for m in movements] for obs in batch]
+        )
+        capacities = np.array(
+            [float(batch[0].capacity(m.out_road)) for m in movements]
+        )
+        rates = np.array([m.service_rate for m in movements])
+        w_star = np.full(len(movements), float(batch[0].max_capacity()))
+        incoming = np.array(
+            [
+                [obs.incoming_total(m.in_road) for m in movements]
+                for obs in batch
+            ]
+        )
+        return queues, out_queues, capacities, rates, w_star, incoming
+
+    @pytest.mark.parametrize("mode", sorted(SEEDS))
+    def test_link_gain_matches_scalar(self, intersection, movements, mode):
+        batch = self._observations(intersection, movements, mode)
+        queues, out_queues, capacities, rates, w_star, _ = self._arrays(
+            movements, batch
+        )
+        gains = link_gain_array(
+            queues, out_queues, capacities, w_star, rates, ALPHA, BETA
+        )
+        assert gains.shape == (self.BATCH, len(movements))
+        for b, obs in enumerate(batch):
+            for j, m in enumerate(movements):
+                assert gains[b, j] == link_gain(m, obs, ALPHA, BETA), (
+                    mode,
+                    b,
+                    m.key,
+                )
+
+    @pytest.mark.parametrize("mode", sorted(SEEDS))
+    def test_original_gain_matches_scalar(self, intersection, movements, mode):
+        batch = self._observations(intersection, movements, mode)
+        _, out_queues, _, rates, _, incoming = self._arrays(movements, batch)
+        gains = link_gain_original_array(incoming, out_queues, rates)
+        for b, obs in enumerate(batch):
+            for j, m in enumerate(movements):
+                assert gains[b, j] == link_gain_original(m, obs), (
+                    mode,
+                    b,
+                    m.key,
+                )
+
+    @pytest.mark.parametrize("mode", sorted(SEEDS))
+    def test_phase_and_max_gain_match_scalar(
+        self, intersection, movements, mode
+    ):
+        batch = self._observations(intersection, movements, mode)
+        queues, out_queues, capacities, rates, w_star, _ = self._arrays(
+            movements, batch
+        )
+        gains = link_gain_array(
+            queues, out_queues, capacities, w_star, rates, ALPHA, BETA
+        )
+        column = {m.key: j for j, m in enumerate(movements)}
+        phases = list(intersection.phases)
+        width = max(len(phase.movements) for phase in phases)
+        members = np.zeros((len(phases), width), dtype=np.int64)
+        valid = np.zeros((len(phases), width), dtype=bool)
+        for p, phase in enumerate(phases):
+            for j, m in enumerate(phase.movements):
+                members[p, j] = column[m.key]
+                valid[p, j] = True
+        totals = phase_gain_array(gains, members, valid)
+        g_max, arg = max_link_gain_array(gains, members, valid)
+        assert totals.shape == g_max.shape == (self.BATCH, len(phases))
+        for b, obs in enumerate(batch):
+            for p, phase in enumerate(phases):
+                assert totals[b, p] == phase_gain(phase, obs, ALPHA, BETA), (
+                    mode,
+                    b,
+                    phase.index,
+                )
+                scalar_gain, scalar_movement = max_link_gain(
+                    phase, obs, ALPHA, BETA
+                )
+                assert g_max[b, p] == scalar_gain, (mode, b, phase.index)
+                # argmax positions index the declaration order, so the
+                # scalar tie-break (first maximal movement) must match.
+                assert (
+                    phase.movements[arg[b, p]].key == scalar_movement.key
+                ), (mode, b, phase.index)
+
+    def test_keep_threshold_matches_scalar(self, intersection, movements):
+        batch = self._observations(intersection, movements, "mixed")
+        rates = np.array([m.service_rate for m in movements])
+        w_star = np.full(len(movements), float(batch[0].max_capacity()))
+        thresholds = keep_threshold_array(w_star, rates)
+        for j, m in enumerate(movements):
+            assert thresholds[j] == keep_threshold(batch[0], m)
+
+    def test_non_negative_alpha_beta_rejected(self, movements):
+        shape = (1, len(movements))
+        zeros = np.zeros(shape)
+        with pytest.raises(ValueError):
+            link_gain_array(
+                zeros, zeros, zeros + 10, zeros + 10, zeros + 1, 0.0, BETA
+            )
+        with pytest.raises(ValueError):
+            link_gain_array(
+                zeros, zeros, zeros + 10, zeros + 10, zeros + 1, ALPHA, 0.5
+            )
