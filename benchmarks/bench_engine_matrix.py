@@ -4,7 +4,9 @@ One pytest-benchmark case per (catalog entry, mesoscopic engine): warm
 the network up, then measure closed-loop mini-slots per second under
 UTIL-BP.  Comparing the engine columns of the printed matrix shows
 where each backend pays off (``meso-counts`` everywhere over ``meso``,
-increasingly so on larger grids; ``meso-vec`` runs here as a batch of
+increasingly so on larger grids; ``meso-events`` pulls further ahead
+the lighter the load, since its calendar skips idle slots entirely;
+``meso-vec`` runs here as a batch of
 one through its single-replication adapter, so this matrix exposes its
 per-replication overhead — its win, batching many seeds per step, is
 measured by ``bench_batch_scaling.py``) and doubles as a drift alarm:
@@ -31,7 +33,7 @@ from repro.scenarios import build_named_scenario, scenario_names
 #: the steady-state step cost (not the empty-network cost) is timed.
 WARMUP_STEPS = 90
 
-ENGINES = ("meso", "meso-counts", "meso-vec")
+ENGINES = ("meso", "meso-counts", "meso-events", "meso-vec")
 
 
 @pytest.fixture(
@@ -77,4 +79,9 @@ def test_matrix_cells_agree_on_dynamics():
         for _ in range(WARMUP_STEPS):
             sim.step(1.0, controller.decide(sim.observations()))
         runs[engine] = (sim.vehicles_in_network(), sim.backlog_size())
-    assert runs["meso"] == runs["meso-counts"] == runs["meso-vec"]
+    assert (
+        runs["meso"]
+        == runs["meso-counts"]
+        == runs["meso-events"]
+        == runs["meso-vec"]
+    )

@@ -8,7 +8,7 @@ throughput and queuing time.
 """
 
 from repro.control.factory import make_network_controller
-from repro.experiments.scenario import build_scenario
+from repro.scenarios.core import build_scenario
 from repro.meso.simulator import MesoSimulator
 
 DURATION = 1200

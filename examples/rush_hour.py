@@ -10,7 +10,7 @@ Run:  python examples/rush_hour.py
 """
 
 from repro.experiments import TURNING, run_scenario
-from repro.experiments.scenario import Scenario
+from repro.scenarios.core import Scenario
 from repro.model.arrivals import ArrivalSchedule
 from repro.model.geometry import Direction
 from repro.model.grid import build_grid_network

@@ -118,4 +118,37 @@ EOF
     || { echo "smoke FAILED: meso-vec sweep left $VEC_ROWS rows (want 2)"; exit 1; }
 
 echo
+echo "== event-driven engine (meso-events sweep + parity spot-check) =="
+# One sweep cell on the calendar-queue engine, then replay the same
+# cell serially on meso-counts: the stored summary must match exactly
+# (the event engine's contract is bit-identical trajectories, not
+# statistical agreement).
+"$PYTHON" -m repro sweep \
+    --scenario steady-4x4 --engine meso-events \
+    --seeds 3 --duration 300 --cache-dir "$CACHE_DIR"
+"$PYTHON" - "$STORE" <<'EOF'
+import sys
+
+from repro.results import ResultStore
+from repro.experiments.runner import run_scenario
+from repro.scenarios import build_named_scenario
+
+store = ResultStore(sys.argv[1])
+[record] = store.query(engine="meso-events", pattern="steady-4x4")
+assert record.summary.delay_mode == "aggregate", record.summary
+reference = run_scenario(
+    build_named_scenario("steady-4x4", seed=record.spec.seed),
+    controller=record.spec.controller,
+    controller_params=dict(record.spec.controller_params),
+    duration=record.spec.duration,
+    engine="meso-counts",
+)
+assert record.summary == reference.summary, (
+    f"meso-events summary diverged from meso-counts:\n"
+    f"  events: {record.summary}\n  counts: {reference.summary}"
+)
+print("meso-events sweep cell == serial meso-counts replay")
+EOF
+
+echo
 echo "smoke OK"

@@ -52,13 +52,17 @@ from repro.metrics.utilization import UtilizationTracker
 from repro.model.queues import QueueObservation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
-    from repro.experiments.scenario import Scenario
+    from repro.scenarios.core import Scenario
     from repro.model.network import Network
 
 __all__ = [
     "SimulationEngine",
     "BatchEngine",
     "BatchControlArrays",
+    "Registry",
+    "ENGINES",
+    "BATCH_ENGINES",
+    "BATCH_CONTROLLERS",
     "ENGINE_NAMES",
     "register_engine",
     "engine_names",
@@ -195,44 +199,138 @@ class BatchEngine(Protocol):
         ...
 
 
+# -- the registry primitive ---------------------------------------------------
+
+
+class Registry:
+    """A lazily-importing name -> builder registry.
+
+    One primitive behind the engine, batch-engine and batch-controller
+    registries (they were three copy-pasted implementations before):
+
+    * ``register(name, builder)`` — add or override a constructor;
+    * ``has(name)`` / ``names()`` — membership and the sorted union of
+      live registrations and known built-ins;
+    * ``build(name, *args, **kwargs)`` — construct, importing the
+      built-in provider module first if the name is not yet live
+      (built-ins register themselves at import time);
+    * ``provider_module(name)`` — the module a worker process must
+      import to re-establish the registration (``spawn`` workers start
+      with a fresh registry).  The live registration wins over the
+      built-in mapping — a plugin overriding a built-in name must run
+      its own code in workers too — and builders defined in
+      ``__main__`` return ``None`` (not importable elsewhere).
+
+    ``kind`` only labels error messages (e.g. ``"batch engine"``).
+    """
+
+    def __init__(self, kind: str, builtin_modules: Mapping[str, str]):
+        self.kind = kind
+        self.builtin_modules = dict(builtin_modules)
+        self.builders: Dict[str, Callable[..., Any]] = {}
+
+    def register(self, name: str, builder: Callable[..., Any]) -> None:
+        """Register a constructor under ``name`` (overrides allowed)."""
+        self.builders[name] = builder
+
+    def has(self, name: str) -> bool:
+        """Whether ``name`` is live-registered or a known built-in."""
+        return name in self.builders or name in self.builtin_modules
+
+    def names(self) -> tuple:
+        """All currently selectable names (built-in + registered)."""
+        return tuple(sorted(set(self.builders) | set(self.builtin_modules)))
+
+    def provider_module(self, name: str) -> Optional[str]:
+        """The module whose import registers ``name`` (if known)."""
+        builder = self.builders.get(name)
+        if builder is not None:
+            module = getattr(builder, "__module__", None)
+            return None if module == "__main__" else module
+        return self.builtin_modules.get(name)
+
+    def build(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Construct ``name``, importing its built-in provider if needed."""
+        if name not in self.builders and name in self.builtin_modules:
+            # Importing the module registers the builder.
+            import importlib
+
+            importlib.import_module(self.builtin_modules[name])
+        try:
+            builder = self.builders[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; known: {list(self.names())}"
+            )
+        return builder(*args, **kwargs)
+
+
 #: Engine constructors by name (``builder(scenario) -> SimulationEngine``).
-_ENGINE_BUILDERS: Dict[str, Callable[["Scenario"], SimulationEngine]] = {}
+ENGINES = Registry(
+    "engine",
+    {
+        "meso": "repro.meso.simulator",
+        "meso-counts": "repro.meso.counts",
+        "meso-events": "repro.meso.events",
+        "meso-vec": "repro.meso.vectorized",
+        "micro": "repro.micro.simulator",
+    },
+)
 
 #: Batch-engine constructors (``builder(scenarios) -> BatchEngine``).
-_BATCH_ENGINE_BUILDERS: Dict[
-    str, Callable[[Sequence["Scenario"]], BatchEngine]
-] = {}
-
-#: Modules whose import registers a built-in engine.
-_BUILTIN_MODULES: Dict[str, str] = {
-    "meso": "repro.meso.simulator",
-    "meso-counts": "repro.meso.counts",
-    "meso-vec": "repro.meso.vectorized",
-    "micro": "repro.micro.simulator",
-}
-
-#: Modules whose import registers a built-in *batch* engine.  A name
-#: listed here also appears in :data:`_BUILTIN_MODULES`: every batch
+#: A name listed here also appears in :data:`ENGINES`: every batch
 #: engine doubles as a single-run engine (batch of one) so plain specs
 #: and the CLI can select it like any other backend.
-_BUILTIN_BATCH_MODULES: Dict[str, str] = {
-    "meso-vec": "repro.meso.vectorized",
-}
+BATCH_ENGINES = Registry(
+    "batch engine",
+    {
+        "meso-vec": "repro.meso.vectorized",
+    },
+)
+
+#: Batch-controller constructors
+#: (``builder(network, batch_size, **params) -> BatchNetworkController``).
+#: Mirrors the batch-engine registry: controllers that can decide for a
+#: whole replication batch at once (on BatchControlArrays) register a
+#: builder by the same short name the serial factory uses, and the
+#: closed-loop batch runner picks the batched kernel whenever both the
+#: engine and the controller support it.
+BATCH_CONTROLLERS = Registry(
+    "batch controller",
+    {
+        "util-bp": "repro.control.batch",
+        "cap-bp": "repro.control.batch",
+        "original-bp": "repro.control.batch",
+    },
+)
+
+# Legacy aliases for the registries' internals: tests and downstream
+# code reach into these mappings (e.g. to pop a test registration), so
+# they stay bound to the live dicts.
+_ENGINE_BUILDERS = ENGINES.builders
+_BUILTIN_MODULES = ENGINES.builtin_modules
+_BATCH_ENGINE_BUILDERS = BATCH_ENGINES.builders
+_BUILTIN_BATCH_MODULES = BATCH_ENGINES.builtin_modules
+_BATCH_CONTROLLER_BUILDERS = BATCH_CONTROLLERS.builders
+_BUILTIN_BATCH_CONTROLLER_MODULES = BATCH_CONTROLLERS.builtin_modules
 
 #: The engine names the CLI offers (built-ins; plugins add more).
-ENGINE_NAMES = tuple(sorted(_BUILTIN_MODULES))
+ENGINE_NAMES = tuple(sorted(ENGINES.builtin_modules))
+
+
+# -- engines (thin delegates onto the registry) -------------------------------
 
 
 def register_engine(
     name: str, builder: Callable[["Scenario"], SimulationEngine]
 ) -> None:
     """Register an engine constructor (``builder(scenario) -> engine``)."""
-    _ENGINE_BUILDERS[name] = builder
+    ENGINES.register(name, builder)
 
 
 def engine_names() -> tuple:
     """All currently selectable engine names (built-in + registered)."""
-    return tuple(sorted(set(_ENGINE_BUILDERS) | set(_BUILTIN_MODULES)))
+    return ENGINES.names()
 
 
 def provider_module(name: str) -> Optional[str]:
@@ -244,29 +342,12 @@ def provider_module(name: str) -> Optional[str]:
     built-ins).  Returns ``None`` for unregistered names or builders
     defined in ``__main__`` (not importable elsewhere).
     """
-    # The live registration wins over the built-in mapping: a plugin
-    # overriding a built-in name must run its own code in workers too.
-    builder = _ENGINE_BUILDERS.get(name)
-    if builder is not None:
-        module = getattr(builder, "__module__", None)
-        return None if module == "__main__" else module
-    return _BUILTIN_MODULES.get(name)
+    return ENGINES.provider_module(name)
 
 
 def build_engine(scenario: "Scenario", engine: str = "meso") -> SimulationEngine:
     """Instantiate a simulation engine for a scenario by name."""
-    if engine not in _ENGINE_BUILDERS and engine in _BUILTIN_MODULES:
-        # Importing the module registers the builder.
-        import importlib
-
-        importlib.import_module(_BUILTIN_MODULES[engine])
-    try:
-        builder = _ENGINE_BUILDERS[engine]
-    except KeyError:
-        raise ValueError(
-            f"unknown engine {engine!r}; known: {list(engine_names())}"
-        )
-    return builder(scenario)
+    return ENGINES.build(engine, scenario)
 
 
 # -- batch engines -----------------------------------------------------------
@@ -282,28 +363,22 @@ def register_batch_engine(
     a plain single-run builder under the same name (batch of one), so
     specs naming the engine work outside the batching pool path too.
     """
-    _BATCH_ENGINE_BUILDERS[name] = builder
+    BATCH_ENGINES.register(name, builder)
 
 
 def batch_engine_names() -> tuple:
     """All currently selectable batch-engine names."""
-    return tuple(
-        sorted(set(_BATCH_ENGINE_BUILDERS) | set(_BUILTIN_BATCH_MODULES))
-    )
+    return BATCH_ENGINES.names()
 
 
 def has_batch_engine(name: str) -> bool:
     """Whether ``name`` can step whole seed-batches in one engine."""
-    return name in _BATCH_ENGINE_BUILDERS or name in _BUILTIN_BATCH_MODULES
+    return BATCH_ENGINES.has(name)
 
 
 def batch_provider_module(name: str) -> Optional[str]:
     """The module whose import registers batch engine ``name`` (if known)."""
-    builder = _BATCH_ENGINE_BUILDERS.get(name)
-    if builder is not None:
-        module = getattr(builder, "__module__", None)
-        return None if module == "__main__" else module
-    return _BUILTIN_BATCH_MODULES.get(name)
+    return BATCH_ENGINES.provider_module(name)
 
 
 def build_batch_engine(
@@ -312,41 +387,10 @@ def build_batch_engine(
     """Instantiate a batch engine over one scenario per replication."""
     if not scenarios:
         raise ValueError("a batch needs at least one scenario")
-    if (
-        engine not in _BATCH_ENGINE_BUILDERS
-        and engine in _BUILTIN_BATCH_MODULES
-    ):
-        import importlib
-
-        importlib.import_module(_BUILTIN_BATCH_MODULES[engine])
-    try:
-        builder = _BATCH_ENGINE_BUILDERS[engine]
-    except KeyError:
-        raise ValueError(
-            f"unknown batch engine {engine!r}; known: "
-            f"{list(batch_engine_names())}"
-        )
-    return builder(scenarios)
+    return BATCH_ENGINES.build(engine, scenarios)
 
 
 # -- batch controllers --------------------------------------------------------
-#
-# Mirrors the batch-engine registry: controllers that can decide for a
-# whole replication batch at once (on BatchControlArrays) register a
-# builder by the same short name the serial factory uses, and the
-# closed-loop batch runner picks the batched kernel whenever both the
-# engine and the controller support it.
-
-#: Batch-controller constructors
-#: (``builder(network, batch_size, **params) -> BatchNetworkController``).
-_BATCH_CONTROLLER_BUILDERS: Dict[str, Callable[..., Any]] = {}
-
-#: Modules whose import registers a built-in batch controller.
-_BUILTIN_BATCH_CONTROLLER_MODULES: Dict[str, str] = {
-    "util-bp": "repro.control.batch",
-    "cap-bp": "repro.control.batch",
-    "original-bp": "repro.control.batch",
-}
 
 
 def register_batch_controller(
@@ -359,43 +403,21 @@ def register_batch_controller(
     decisions are, per replication, identical to those of the serial
     controller of the same name and parameters.
     """
-    _BATCH_CONTROLLER_BUILDERS[name] = builder
+    BATCH_CONTROLLERS.register(name, builder)
 
 
 def batch_controller_names() -> tuple:
     """All controller names with a batched implementation."""
-    return tuple(
-        sorted(
-            set(_BATCH_CONTROLLER_BUILDERS)
-            | set(_BUILTIN_BATCH_CONTROLLER_MODULES)
-        )
-    )
+    return BATCH_CONTROLLERS.names()
 
 
 def has_batch_controller(name: str) -> bool:
     """Whether controller ``name`` can decide whole batches at once."""
-    return (
-        name in _BATCH_CONTROLLER_BUILDERS
-        or name in _BUILTIN_BATCH_CONTROLLER_MODULES
-    )
+    return BATCH_CONTROLLERS.has(name)
 
 
 def build_batch_controller(
     name: str, network: "Network", batch_size: int, **params: Any
 ) -> Any:
     """Instantiate a batched network controller by controller name."""
-    if (
-        name not in _BATCH_CONTROLLER_BUILDERS
-        and name in _BUILTIN_BATCH_CONTROLLER_MODULES
-    ):
-        import importlib
-
-        importlib.import_module(_BUILTIN_BATCH_CONTROLLER_MODULES[name])
-    try:
-        builder = _BATCH_CONTROLLER_BUILDERS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown batch controller {name!r}; known: "
-            f"{list(batch_controller_names())}"
-        )
-    return builder(network, batch_size, **params)
+    return BATCH_CONTROLLERS.build(name, network, batch_size, **params)

@@ -2,7 +2,7 @@
 tables and figures.
 
 * :mod:`repro.experiments.patterns` — Tables I and II.
-* :mod:`repro.experiments.scenario` — the 3x3 grid scenario builder.
+* :mod:`repro.scenarios` — the scenario builder and workload catalog.
 * :mod:`repro.experiments.runner` — the closed control loop.
 * :mod:`repro.experiments.table3` — Table III (CAP-BP best period vs
   UTIL-BP over all patterns).
@@ -40,7 +40,7 @@ from repro.experiments.runner import (
     register_engine,
     run_scenario,
 )
-from repro.experiments.scenario import DEFAULT_DURATIONS, Scenario, build_scenario
+from repro.scenarios.core import DEFAULT_DURATIONS, Scenario, build_scenario
 
 __all__ = [
     "TURNING",

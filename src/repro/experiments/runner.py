@@ -14,9 +14,8 @@ compatibility.
 
 from __future__ import annotations
 
-import math
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 # Re-exported for backwards compatibility: the registry moved to the
@@ -31,20 +30,71 @@ from repro.core.engine import (
     register_engine,
 )
 from repro.control.factory import make_network_controller
-from repro.experiments.scenario import Scenario
+from repro.scenarios.core import Scenario
 from repro.metrics.collector import Summary
-from repro.metrics.traces import PhaseTrace, QueueTrace
+from repro.metrics.traces import PhaseTrace, QueueTrace, next_grid_sample
 from repro.metrics.utilization import UtilizationTracker
 from repro.model.phases import TRANSITION_PHASE_INDEX
 from repro.util.validation import check_positive
 
 __all__ = [
+    "RunConfig",
     "RunResult",
     "run_scenario",
     "run_scenario_batch",
     "build_engine",
     "register_engine",
 ]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """The run knobs shared by :func:`run_scenario` and
+    :func:`run_scenario_batch`.
+
+    Both runners accept exactly these fields, keyword-only (the two
+    signatures had drifted apart; this is now the single source of
+    truth).  Unknown knobs and invalid values are rejected here,
+    *before* any engine is built — mirroring the eager scenario-param
+    validation — so a typo fails in milliseconds instead of after an
+    expensive batch-engine construction.
+
+    The only asymmetry between the runners is the default ``engine``:
+    ``"meso"`` for single runs, ``"meso-vec"`` for batches.
+    """
+
+    controller: str = "util-bp"
+    controller_params: Optional[Dict[str, Any]] = None
+    duration: Optional[float] = None
+    engine: str = "meso"
+    mini_slot: float = 1.0
+    record_phases: Sequence[str] = ()
+    record_queues: Sequence[Tuple[str, str]] = ()
+    queue_sample_interval: float = 5.0
+
+    def __post_init__(self) -> None:
+        check_positive("mini_slot", self.mini_slot)
+        check_positive("queue_sample_interval", self.queue_sample_interval)
+        if self.duration is not None:
+            check_positive("duration", float(self.duration))
+
+    @classmethod
+    def resolve(cls, default_engine: str, knobs: Dict[str, Any]) -> "RunConfig":
+        """Build a config from a runner's ``**knobs``, eagerly validated."""
+        valid = {f.name for f in fields(cls)}
+        unknown = sorted(set(knobs) - valid)
+        if unknown:
+            raise TypeError(
+                f"unknown run knob(s) {unknown}; valid knobs: {sorted(valid)}"
+            )
+        knobs.setdefault("engine", default_engine)
+        return cls(**knobs)
+
+    def horizon(self, scenario: Scenario) -> float:
+        """The simulation horizon: explicit ``duration`` or the scenario's."""
+        if self.duration is None:
+            return scenario.default_duration
+        return float(self.duration)
 
 
 @dataclass
@@ -128,23 +178,17 @@ class RunResult:
         )
 
 
-def run_scenario(
-    scenario: Scenario,
-    controller: str = "util-bp",
-    controller_params: Optional[Dict[str, Any]] = None,
-    duration: Optional[float] = None,
-    engine: str = "meso",
-    mini_slot: float = 1.0,
-    record_phases: Sequence[str] = (),
-    record_queues: Sequence[Tuple[str, str]] = (),
-    queue_sample_interval: float = 5.0,
-) -> RunResult:
+def run_scenario(scenario: Scenario, **knobs: Any) -> RunResult:
     """Run a scenario under a controller and collect the results.
+
+    All knobs are keyword-only and shared with
+    :func:`run_scenario_batch` — see :class:`RunConfig` for the full
+    set, defaults and validation.  The ones used most:
 
     Parameters
     ----------
     scenario:
-        The scenario to simulate.
+        The scenario to simulate (the only positional argument).
     controller:
         Controller name (see :data:`repro.control.factory.CONTROLLER_NAMES`).
     controller_params:
@@ -153,7 +197,8 @@ def run_scenario(
     duration:
         Simulation horizon in seconds; defaults to the scenario's.
     engine:
-        ``"meso"`` or ``"micro"``.
+        An engine name from :func:`repro.core.engine.engine_names`
+        (default ``"meso"``).
     mini_slot:
         The control mini-slot ``Delta_t`` (s); controllers are invoked
         once per mini-slot.
@@ -164,20 +209,25 @@ def run_scenario(
         ``(node_id, in_road)`` pairs whose total stop-line queue should
         be sampled every ``queue_sample_interval`` seconds (Fig. 5).
     """
-    check_positive("mini_slot", mini_slot)
-    check_positive("queue_sample_interval", queue_sample_interval)
-    horizon = scenario.default_duration if duration is None else float(duration)
+    config = RunConfig.resolve("meso", knobs)
+    horizon = config.horizon(scenario)
     check_positive("duration", horizon)
 
-    sim: SimulationEngine = build_engine(scenario, engine)
+    # Controller first: its factory validates the name and parameters,
+    # so a bad controller spec fails before the engine is built.
     network_controller = make_network_controller(
-        controller, scenario.network, **(controller_params or {})
+        config.controller, scenario.network, **(config.controller_params or {})
     )
+    sim: SimulationEngine = build_engine(scenario, config.engine)
 
-    phase_traces = {node_id: PhaseTrace(node_id) for node_id in record_phases}
+    mini_slot = config.mini_slot
+    queue_sample_interval = config.queue_sample_interval
+    phase_traces = {
+        node_id: PhaseTrace(node_id) for node_id in config.record_phases
+    }
     queue_traces = {
         (node_id, road): QueueTrace(road_id=road)
-        for node_id, road in record_queues
+        for node_id, road in config.record_queues
     }
     next_queue_sample = 0.0
 
@@ -195,18 +245,13 @@ def run_scenario(
         if queue_traces and now >= next_queue_sample:
             for (node_id, road), trace in queue_traces.items():
                 trace.sample(now, sim.incoming_queue_total(road))
-            # Snap to the fixed sampling grid (0, T, 2T, ...): anchoring
-            # on ``now`` would drift whenever the mini-slot does not
-            # divide the interval.
-            next_queue_sample = (
-                math.floor(now / queue_sample_interval) + 1
-            ) * queue_sample_interval
+            next_queue_sample = next_grid_sample(now, queue_sample_interval)
         sim.step(mini_slot, decisions)
 
     sim.finalize()
     return RunResult(
         scenario_name=scenario.name,
-        controller_name=controller,
+        controller_name=config.controller,
         duration=horizon,
         summary=sim.collector.summary(horizon),
         phase_traces=phase_traces,
@@ -217,18 +262,13 @@ def run_scenario(
     )
 
 
-def run_scenario_batch(
-    scenarios: Sequence[Scenario],
-    controller: str = "util-bp",
-    controller_params: Optional[Dict[str, Any]] = None,
-    duration: Optional[float] = None,
-    engine: str = "meso-vec",
-    mini_slot: float = 1.0,
-    record_phases: Sequence[str] = (),
-    record_queues: Sequence[Tuple[str, str]] = (),
-    queue_sample_interval: float = 5.0,
-) -> list:
+def run_scenario_batch(scenarios: Sequence[Scenario], **knobs: Any) -> list:
     """Run many replications of one scenario shape in a single batch engine.
+
+    All knobs are keyword-only and identical to :func:`run_scenario`'s
+    (see :class:`RunConfig`); only the default ``engine`` differs
+    (``"meso-vec"``).  Unknown knobs and bad controller specs are
+    rejected before the batch engine is built.
 
     ``scenarios`` share the workload shape (same network, demand and
     turning model — typically one :class:`Scenario` per seed); each
@@ -249,15 +289,25 @@ def run_scenario_batch(
     falls back to per-replication controllers with a one-line notice on
     stderr, so a silently de-vectorized sweep is visible in its logs.
     """
+    config = RunConfig.resolve("meso-vec", knobs)
     if not scenarios:
         return []
-    check_positive("mini_slot", mini_slot)
-    check_positive("queue_sample_interval", queue_sample_interval)
     first = scenarios[0]
-    horizon = first.default_duration if duration is None else float(duration)
+    horizon = config.horizon(first)
     check_positive("duration", horizon)
+    controller = config.controller
+    controller_params = config.controller_params
+    mini_slot = config.mini_slot
+    record_phases = config.record_phases
+    record_queues = config.record_queues
+    queue_sample_interval = config.queue_sample_interval
 
-    sim: BatchEngine = build_batch_engine(scenarios, engine)
+    # Validate the controller spec (name + parameters) before paying
+    # for the batch engine: the probe controller is discarded, but its
+    # construction runs the same factory checks the real ones will.
+    make_network_controller(controller, first.network, **(controller_params or {}))
+
+    sim: BatchEngine = build_batch_engine(scenarios, config.engine)
     batch_controller = None
     if has_batch_controller(controller) and hasattr(sim, "controller_arrays"):
         candidate = build_batch_controller(
@@ -343,9 +393,7 @@ def run_scenario_batch(
             for b, traces in enumerate(queue_traces):
                 for (node_id, road), trace in traces.items():
                     trace.sample(now, int(road_totals[road][b]))
-            next_queue_sample = (
-                math.floor(now / queue_sample_interval) + 1
-            ) * queue_sample_interval
+            next_queue_sample = next_grid_sample(now, queue_sample_interval)
         sim.step(mini_slot, decisions)
 
     sim.finalize()

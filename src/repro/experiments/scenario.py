@@ -1,18 +1,34 @@
-"""Backwards-compatibility shim: the scenario layer moved.
+"""Deprecated shim: the scenario layer moved to :mod:`repro.scenarios`.
 
 The :class:`Scenario` object and :func:`build_scenario` now live in
-:mod:`repro.scenarios` (alongside the catalog of tidal/surge/incident
-workloads).  Import from there in new code; this module keeps the
-historical ``repro.experiments.scenario`` names working.
+:mod:`repro.scenarios.core` (alongside the catalog of tidal/surge/
+incident workloads), and every internal import has been re-pointed
+there.  Importing this module keeps the historical
+``repro.experiments.scenario`` names working but emits a
+:class:`DeprecationWarning`; migrate with::
+
+    from repro.experiments.scenario import Scenario, build_scenario   # old
+    from repro.scenarios.core import Scenario, build_scenario         # new
+
+(or ``from repro.scenarios import ...`` for the catalog helpers).
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.scenarios.core import (  # noqa: F401  (re-exports)
     DEFAULT_DURATIONS,
     Scenario,
     build_scenario,
     entry_side as _entry_side,
+)
+
+warnings.warn(
+    "repro.experiments.scenario is deprecated; import from "
+    "repro.scenarios.core instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = ["Scenario", "build_scenario", "DEFAULT_DURATIONS"]

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Any, List, Mapping, Optional, Sequence
 
 from repro.experiments.runner import RunResult
-from repro.experiments.scenario import build_scenario
+from repro.scenarios.core import build_scenario
 from repro.orchestration import ExperimentPool, RunSpec
 from repro.results.experiment import (
     ExperimentDefinition,

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.runner import RunResult
-from repro.experiments.scenario import DEFAULT_DURATIONS
+from repro.scenarios.core import DEFAULT_DURATIONS
 from repro.orchestration import ExperimentPool, RunSpec
 from repro.results.experiment import (
     ExperimentDefinition,

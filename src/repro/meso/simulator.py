@@ -474,7 +474,7 @@ class MesoSimulator:
 
 
 def _build_meso(scenario) -> MesoSimulator:
-    # ``scenario`` is a repro.experiments.scenario.Scenario; typed loosely
+    # ``scenario`` is a repro.scenarios.core.Scenario; typed loosely
     # to keep the model layer import-independent of the experiments layer.
     return MesoSimulator(
         network=scenario.network,

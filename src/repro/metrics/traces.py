@@ -10,12 +10,27 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.util.series import TimeSeries
 
-__all__ = ["PhaseTrace", "QueueTrace"]
+__all__ = ["PhaseTrace", "QueueTrace", "next_grid_sample"]
+
+
+def next_grid_sample(now: float, interval: float) -> float:
+    """The first instant of the fixed grid ``0, T, 2T, ...`` after ``now``.
+
+    Trace sampling snaps to this grid rather than anchoring on the
+    time a sample happened to be taken: anchoring on ``now`` would
+    drift whenever the stepping cadence (a mini-slot that does not
+    divide the interval, or an event-driven engine's jumps) is not
+    commensurate with ``interval``.  Every sampler — serial, batch and
+    event-time — uses this helper so they land on identical sample
+    instants.
+    """
+    return (math.floor(now / interval) + 1) * interval
 
 
 @dataclass

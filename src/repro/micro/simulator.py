@@ -17,7 +17,7 @@ from collections import deque
 from typing import Deque, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.engine import register_engine
-from repro.experiments.scenario import Scenario
+from repro.scenarios.core import Scenario
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.utilization import UtilizationTracker
 from repro.micro.lane import Lane

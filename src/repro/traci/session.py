@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Tuple
 
 from repro.experiments.runner import build_engine
-from repro.experiments.scenario import Scenario
+from repro.scenarios.core import Scenario
 from repro.metrics.collector import Summary
 from repro.model.phases import TRANSITION_PHASE_INDEX
 from repro.model.queues import QueueObservation

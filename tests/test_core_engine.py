@@ -17,13 +17,19 @@ from repro.core.engine import (
     register_engine,
 )
 from repro.experiments.runner import run_scenario
-from repro.experiments.scenario import build_scenario
+from repro.scenarios.core import build_scenario
 from repro.model.phases import TRANSITION_PHASE_INDEX
 
-ENGINES = ("meso", "meso-counts", "meso-vec", "micro")
+ENGINES = ("meso", "meso-counts", "meso-events", "meso-vec", "micro")
 
 #: Short horizons keep the micro engine affordable in CI.
-HORIZON = {"meso": 90.0, "meso-counts": 90.0, "meso-vec": 90.0, "micro": 30.0}
+HORIZON = {
+    "meso": 90.0,
+    "meso-counts": 90.0,
+    "meso-events": 90.0,
+    "meso-vec": 90.0,
+    "micro": 30.0,
+}
 
 
 def _make(engine: str):
@@ -38,7 +44,13 @@ def _drive(sim, steps: int, phase: int = 1) -> None:
 
 class TestRegistry:
     def test_builtin_names_exposed(self):
-        assert ENGINE_NAMES == ("meso", "meso-counts", "meso-vec", "micro")
+        assert ENGINE_NAMES == (
+            "meso",
+            "meso-counts",
+            "meso-events",
+            "meso-vec",
+            "micro",
+        )
         for name in ENGINE_NAMES:
             assert name in engine_names()
 
@@ -49,6 +61,7 @@ class TestRegistry:
     def test_provider_module(self):
         assert provider_module("meso") == "repro.meso.simulator"
         assert provider_module("meso-counts") == "repro.meso.counts"
+        assert provider_module("meso-events") == "repro.meso.events"
         assert provider_module("meso-vec") == "repro.meso.vectorized"
         assert provider_module("micro") == "repro.micro.simulator"
         assert provider_module("nonexistent") is None

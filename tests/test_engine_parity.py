@@ -1,5 +1,5 @@
 """Equivalence suite: ``meso-counts`` against the reference ``meso``,
-and ``meso-vec`` against ``meso-counts``.
+and ``meso-vec`` / ``meso-events`` against ``meso-counts``.
 
 The counts-based engine claims *step-for-step identical* Eq.-2
 dynamics under a shared seed, not statistical similarity.  This suite
@@ -24,6 +24,11 @@ open-loop (fixed phase schedule) drives are covered: closed-loop
 proves the engines are interchangeable inside the real control loop,
 open-loop proves the parity does not depend on the controller masking
 differences.
+
+The ``meso-events`` calendar-queue engine claims the same bit-exact
+trajectory as ``meso-counts`` under a shared seed — the event loop only
+reschedules *when* work happens, never *what* happens — so it runs the
+identical closed- and open-loop lockstep matrices.
 
 The ``meso-vec`` batch engine extends the chain: at ``B=1`` it must be
 *exactly* equal to ``meso-counts`` under the same seed (same lockstep
@@ -131,6 +136,56 @@ class TestTrajectoryParity:
 
         reference, counts = _lockstep(name, fixed, fixed)
         _assert_books_match(reference, counts)
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+class TestEventsTrajectoryParity:
+    """``meso-events`` against ``meso-counts``: exact, per step.
+
+    Both engines keep aggregate books, so beyond the lockstep state
+    checks the whole final summary must be bit-for-bit equal — and so
+    must the banked service credits, which the event engine defers and
+    replays lazily (finalize settles them).
+    """
+
+    ENGINES = ("meso-counts", "meso-events")
+
+    def _assert_aggregate_books_match(self, counts, events):
+        horizon = float(STEPS)
+        cnt_util = {n: t.to_dict() for n, t in counts.utilization.items()}
+        evt_util = {n: t.to_dict() for n, t in events.utilization.items()}
+        assert cnt_util == evt_util
+        cnt = counts.collector.summary(horizon)
+        evt = events.collector.summary(horizon)
+        assert cnt.delay_mode == evt.delay_mode == "aggregate"
+        assert cnt == evt
+        assert counts._credit == events._credit
+
+    def test_closed_loop_util_bp(self, name):
+        scenario = build_named_scenario(name, seed=11)
+        controllers = [
+            make_network_controller("util-bp", scenario.network)
+            for _ in range(2)
+        ]
+        counts, events = _lockstep(
+            name,
+            lambda obs, step: controllers[0].decide(obs),
+            lambda obs, step: controllers[1].decide(obs),
+            engines=self.ENGINES,
+        )
+        self._assert_aggregate_books_match(counts, events)
+
+    def test_open_loop_fixed_phases(self, name):
+        scenario = build_named_scenario(name, seed=11)
+        nodes = list(scenario.network.intersections)
+
+        def fixed(obs, step):
+            slot, offset = divmod(step, 13)
+            phase = 0 if offset == 12 else 1 + slot % 4
+            return {node: phase for node in nodes}
+
+        counts, events = _lockstep(name, fixed, fixed, engines=self.ENGINES)
+        self._assert_aggregate_books_match(counts, events)
 
 
 @pytest.mark.parametrize("name", SCENARIOS)

@@ -11,7 +11,7 @@ from repro.experiments.patterns import (
     pattern_description,
 )
 from repro.experiments.runner import build_engine, run_scenario
-from repro.experiments.scenario import DEFAULT_DURATIONS, build_scenario
+from repro.scenarios.core import DEFAULT_DURATIONS, build_scenario
 from repro.model.geometry import Direction
 from repro.model.phases import TRANSITION_PHASE_INDEX
 

@@ -1,7 +1,7 @@
 """Cross-module integration tests: closed-loop behaviour on both engines."""
 
 from repro.experiments.runner import run_scenario
-from repro.experiments.scenario import build_scenario
+from repro.scenarios.core import build_scenario
 
 
 class TestClosedLoopMeso:

@@ -1,0 +1,123 @@
+"""Event-engine specifics: calendar determinism and the step contract.
+
+Trajectory parity with ``meso-counts`` lives in ``test_engine_parity``
+and the generic engine contract in ``test_core_engine``; this module
+pins what is unique to ``meso-events``: the calendar queue's explicit
+``(time, priority, seq)`` tie-break, the constant-mini-slot contract,
+the non-dyadic per-slot fallback, and finalize settling the lazily
+deferred books.
+"""
+
+import pytest
+
+from repro.core.engine import build_engine
+from repro.meso.events import (
+    PRIO_ARRIVAL,
+    PRIO_PROMOTE,
+    PRIO_REFILL,
+    EventCalendar,
+    EventCountsSimulator,
+)
+from repro.scenarios import build_named_scenario
+
+
+def _fixed_plan(nodes, step):
+    slot, offset = divmod(step, 13)
+    phase = 0 if offset == 12 else 1 + slot % 4
+    return {node: phase for node in nodes}
+
+
+class TestEventCalendar:
+    def test_orders_by_time_first(self):
+        calendar = EventCalendar()
+        calendar.push(3.0, PRIO_ARRIVAL, "late")
+        calendar.push(1.0, PRIO_ARRIVAL, "early")
+        calendar.push(2.0, PRIO_ARRIVAL, "middle")
+        assert calendar.peek_time() == 1.0
+        order = [calendar.pop()[3] for _ in range(3)]
+        assert order == ["early", "middle", "late"]
+
+    def test_same_time_orders_by_priority(self):
+        """Promotions run before refills before arrivals at one instant.
+
+        That is the dynamics order of a mini-slot: transit heads become
+        serviceable, then the arrival stream tops up, then new vehicles
+        join — matching meso-counts' promote / serve / inject phases.
+        """
+        calendar = EventCalendar()
+        calendar.push(5.0, PRIO_ARRIVAL, "arrival")
+        calendar.push(5.0, PRIO_PROMOTE, "promote")
+        calendar.push(5.0, PRIO_REFILL, "refill")
+        order = [calendar.pop()[3] for _ in range(3)]
+        assert order == ["promote", "refill", "arrival"]
+
+    def test_full_tie_breaks_by_insertion_order(self):
+        """(time, priority) ties pop FIFO — seq is monotone, so the
+        heap never compares payloads (which need not be orderable)."""
+        calendar = EventCalendar()
+        for index in range(8):
+            calendar.push(1.0, PRIO_PROMOTE, {"index": index})
+        order = [calendar.pop()[3]["index"] for _ in range(8)]
+        assert order == list(range(8))
+
+    def test_interleaved_pushes_stay_deterministic(self):
+        calendar = EventCalendar()
+        calendar.push(2.0, PRIO_ARRIVAL, "a")
+        calendar.push(1.0, PRIO_REFILL, "b")
+        assert calendar.pop()[3] == "b"
+        calendar.push(1.5, PRIO_PROMOTE, "c")
+        calendar.push(1.5, PRIO_PROMOTE, "d")
+        assert [calendar.pop()[3] for _ in range(3)] == ["c", "d", "a"]
+        assert len(calendar) == 0
+
+
+class TestStepContract:
+    def test_constant_mini_slot_required(self):
+        sim = build_engine(
+            build_named_scenario("steady-3x3", seed=1), "meso-events"
+        )
+        sim.step(1.0, {})
+        with pytest.raises(ValueError, match="constant mini-slot"):
+            sim.step(0.5, {})
+
+    def test_non_dyadic_dt_falls_back_to_per_slot(self):
+        """A non-dyadic mini-slot cannot use the closed-form event
+        bookkeeping (accumulated times drift in the last ulp); the
+        engine must transparently run meso-counts' per-slot step and
+        still match it exactly."""
+        scenario = build_named_scenario("steady-3x3", seed=7)
+        counts = build_engine(scenario, "meso-counts")
+        events = build_engine(scenario, "meso-events")
+        assert isinstance(events, EventCountsSimulator)
+        nodes = list(scenario.network.intersections)
+        for step in range(150):
+            plan = _fixed_plan(nodes, step)
+            counts.step(0.7, plan)
+            events.step(0.7, dict(plan))
+            assert counts._queue_counts == events._queue_counts, step
+            assert counts._credit == events._credit, step
+        counts.finalize()
+        events.finalize()
+        assert (
+            counts.collector.summary(105.0)
+            == events.collector.summary(105.0)
+        )
+
+    def test_finalize_settles_lazy_books(self):
+        """Mid-run the event engine defers idle-green bookkeeping and
+        credit refills; finalize must settle them to meso-counts'
+        exact state (credits included)."""
+        scenario = build_named_scenario("tidal-3x3", seed=5)
+        counts = build_engine(scenario, "meso-counts")
+        events = build_engine(scenario, "meso-events")
+        nodes = list(scenario.network.intersections)
+        for step in range(200):
+            plan = _fixed_plan(nodes, step)
+            counts.step(1.0, plan)
+            events.step(1.0, dict(plan))
+        counts.finalize()
+        events.finalize()
+        assert counts._credit == events._credit
+        assert {
+            n: t.to_dict() for n, t in counts.utilization.items()
+        } == {n: t.to_dict() for n, t in events.utilization.items()}

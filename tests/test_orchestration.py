@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.experiments.runner import RunResult, run_scenario
-from repro.experiments.scenario import build_scenario
+from repro.scenarios.core import build_scenario
 from repro.orchestration import (
     BatchRunSpec,
     ExperimentPool,

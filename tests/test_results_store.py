@@ -6,7 +6,7 @@ import sqlite3
 import pytest
 
 from repro.experiments.runner import RunResult, run_scenario
-from repro.experiments.scenario import build_scenario
+from repro.scenarios.core import build_scenario
 from repro.orchestration import ExperimentPool, RunSpec, SweepGrid
 from repro.orchestration.spec import SPEC_SCHEMA_VERSION
 from repro.results import STORE_FILENAME, ResultStore

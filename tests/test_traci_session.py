@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.scenario import build_scenario
+from repro.scenarios.core import build_scenario
 from repro.traci.session import TraciSession
 
 
