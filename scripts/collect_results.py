@@ -11,7 +11,7 @@ Runs every table/figure driver and prints a consolidated report:
 Every driver is an :class:`repro.results.ExperimentDefinition` whose
 cells go through one shared :class:`repro.orchestration.ExperimentPool`
 — so ``--workers N`` runs the independent cells N-wide, and
-``--store FILE`` (or ``--cache-dir DIR``) backs the pool with one
+``--store FILE`` (``--cache-dir DIR`` is a deprecated alias) backs the pool with one
 shared :class:`repro.results.ResultStore`: an interrupted collection
 resumes by computing only the missing cells, and cells common to
 several drivers are simulated exactly once.
@@ -54,14 +54,25 @@ def main() -> None:
     parser.add_argument(
         "--cache-dir", default=None,
         help=(
-            "directory whose results.sqlite backs the collection; "
-            "legacy per-spec JSON entries there are imported once"
+            "DEPRECATED alias for --store: opens DIR/results.sqlite "
+            "(importing legacy per-spec JSON entries once) and emits "
+            "a DeprecationWarning"
         ),
     )
     args = parser.parse_args()
-    pool = ExperimentPool(
-        workers=args.workers, cache_dir=args.cache_dir, store=args.store
-    )
+    store = args.store
+    if args.cache_dir is not None and store is None:
+        import warnings
+
+        from repro.results import ResultStore
+
+        warnings.warn(
+            "--cache-dir is deprecated; pass --store FILE instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        store = ResultStore.at_directory(args.cache_dir)
+    pool = ExperimentPool(workers=args.workers, store=store)
 
     start = time.time()
 

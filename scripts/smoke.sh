@@ -56,25 +56,32 @@ echo "== 2-worker mini-sweep (cold, then warm from the result store) =="
 if [[ -n "${SMOKE_STORE_DIR:-}" ]]; then
     CACHE_DIR="$SMOKE_STORE_DIR"
     mkdir -p "$CACHE_DIR"
+    KEEP_STORE=1
 else
     CACHE_DIR="$(mktemp -d)"
-    trap 'rm -rf "$CACHE_DIR"' EXIT
+    KEEP_STORE=0
 fi
+STORE="$CACHE_DIR/results.sqlite"
+SERVE_PID=""
+cleanup() {
+    [[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null || true
+    [[ "$KEEP_STORE" == "0" ]] && rm -rf "$CACHE_DIR" || true
+}
+trap cleanup EXIT
 
 "$PYTHON" -m repro sweep \
     --patterns I II \
     --controllers util-bp cap-bp:period=18 \
-    --duration 300 --workers 2 --cache-dir "$CACHE_DIR"
+    --duration 300 --workers 2 --store "$STORE"
 
 WARM=$("$PYTHON" -m repro sweep \
     --patterns I II \
     --controllers util-bp cap-bp:period=18 \
-    --duration 300 --workers 2 --cache-dir "$CACHE_DIR")
+    --duration 300 --workers 2 --store "$STORE")
 echo "$WARM"
 echo "$WARM" | grep -q "executed 0," \
     || { echo "smoke FAILED: warm-store sweep re-executed cells"; exit 1; }
 
-STORE="$CACHE_DIR/results.sqlite"
 [[ -f "$STORE" ]] \
     || { echo "smoke FAILED: sweep left no store at $STORE"; exit 1; }
 
@@ -94,7 +101,7 @@ echo "== batched meso-vec sweep (seed fan-out through the pool) =="
 VEC_ERR="$CACHE_DIR/vec-sweep.stderr"
 "$PYTHON" -m repro sweep \
     --scenario steady-4x4 --engine meso-vec \
-    --seeds 1 2 --duration 300 --cache-dir "$CACHE_DIR" \
+    --seeds 1 2 --duration 300 --store "$STORE" \
     2> "$VEC_ERR" || { cat "$VEC_ERR" >&2; exit 1; }
 cat "$VEC_ERR" >&2
 grep -q "falling back" "$VEC_ERR" \
@@ -125,7 +132,7 @@ echo "== event-driven engine (meso-events sweep + parity spot-check) =="
 # statistical agreement).
 "$PYTHON" -m repro sweep \
     --scenario steady-4x4 --engine meso-events \
-    --seeds 3 --duration 300 --cache-dir "$CACHE_DIR"
+    --seeds 3 --duration 300 --store "$STORE"
 "$PYTHON" - "$STORE" <<'EOF'
 import sys
 
@@ -149,6 +156,80 @@ assert record.summary == reference.summary, (
 )
 print("meso-events sweep cell == serial meso-counts replay")
 EOF
+
+echo
+echo "== simulation service (serve + submit over the shared store) =="
+# Boot the service on a random port against the store the sweeps just
+# filled.  A cell the sweeps already computed must be served from the
+# store without simulating; a fresh cell submitted twice must trigger
+# exactly one engine execution (the second submission shares the
+# first's in-flight/completed cell).
+SERVE_PORT=$((20000 + RANDOM % 20000))
+SERVE_URL="http://127.0.0.1:$SERVE_PORT"
+SERVE_LOG="$CACHE_DIR/serve.log"
+"$PYTHON" -m repro serve --store "$STORE" --port "$SERVE_PORT" 2> "$SERVE_LOG" &
+SERVE_PID=$!
+
+for _ in $(seq 1 50); do
+    if "$PYTHON" -c "import urllib.request as u; u.urlopen('$SERVE_URL/healthz', timeout=1)" 2>/dev/null; then
+        break
+    fi
+    kill -0 "$SERVE_PID" 2>/dev/null \
+        || { echo "smoke FAILED: repro serve died at startup"; cat "$SERVE_LOG" >&2; exit 1; }
+    sleep 0.2
+done
+
+# 1. A cell the meso-vec sweep already stored: instant store hit.
+HIT=$("$PYTHON" -m repro submit --url "$SERVE_URL" \
+    --scenario steady-4x4 --engine meso-vec --seeds 1 \
+    --duration 300 --wait 60)
+echo "$HIT"
+echo "$HIT" | grep -q "(1 from store, 0 executed" \
+    || { echo "smoke FAILED: warm cell was not served from the store"; cat "$SERVE_LOG" >&2; exit 1; }
+
+# 2. A fresh cell submitted twice: one execution, the repeat is instant.
+FIRST=$("$PYTHON" -m repro submit --url "$SERVE_URL" \
+    --scenario steady-4x4 --engine meso-vec --seeds 9 \
+    --duration 300 --wait 120)
+echo "$FIRST"
+echo "$FIRST" | grep -q "(0 from store, 1 executed" \
+    || { echo "smoke FAILED: fresh cell was not executed"; cat "$SERVE_LOG" >&2; exit 1; }
+SECOND=$("$PYTHON" -m repro submit --url "$SERVE_URL" \
+    --scenario steady-4x4 --engine meso-vec --seeds 9 \
+    --duration 300 --wait 60)
+echo "$SECOND"
+echo "$SECOND" | grep -q "1 shared with earlier jobs" \
+    || { echo "smoke FAILED: repeat submission did not share the cell"; cat "$SERVE_LOG" >&2; exit 1; }
+
+# The service's pool must have executed exactly one cell in total.
+"$PYTHON" - "$SERVE_URL" <<'EOF'
+import json
+import sys
+import urllib.request
+
+with urllib.request.urlopen(sys.argv[1] + "/healthz", timeout=5) as response:
+    stats = json.load(response)["stats"]
+assert stats["executed"] == 1, f"expected exactly 1 execution, got {stats}"
+assert stats["cache_hits"] == 1, f"expected 1 store hit, got {stats}"
+print(f"service stats: {stats}")
+EOF
+
+# Every service log line must be structured JSON.
+"$PYTHON" - "$SERVE_LOG" <<'EOF'
+import json
+import sys
+
+lines = [line for line in open(sys.argv[1]) if line.strip()]
+assert lines, "service wrote no log lines"
+for line in lines:
+    record = json.loads(line)
+    assert {"ts", "level", "component", "event"} <= set(record), record
+print(f"service log: {len(lines)} structured JSON lines")
+EOF
+
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
 
 echo
 echo "smoke OK"

@@ -27,11 +27,15 @@ The package is organized bottom-up:
 
 Quickstart
 ----------
->>> from repro.experiments import build_scenario, run_scenario
+>>> from repro.api import RunConfig, build_scenario, run_scenario
 >>> scenario = build_scenario("I", seed=1)
->>> result = run_scenario(scenario, controller="util-bp", duration=300)
+>>> config = RunConfig(controller="util-bp", duration=300)
+>>> result = run_scenario(scenario, config=config)
 >>> result.average_queuing_time  # doctest: +SKIP
 42.0
+
+(:mod:`repro.api` is the versioned public façade — the only supported
+import surface for downstream code.)
 """
 
 __version__ = "1.0.0"

@@ -6,6 +6,9 @@ run        one scenario under one controller, print the summary
 sweep      run a (workload x controller x seed) grid on the worker pool
 results    inspect a result store (list / show / export)
 scenarios  list/inspect the scenario catalog (repro.scenarios)
+serve      run the simulation service (HTTP submission/query server)
+submit     submit specs/grids to a running service
+jobs       list or inspect jobs on a running service
 table3     reproduce Table III
 fig2       reproduce Fig. 2 (period sweep)
 fig34      reproduce Figs. 3-4 (phase traces)
@@ -14,11 +17,12 @@ ablations  run a named ablation study
 stability  demand-scale stability sweep
 
 Every sweep-shaped command accepts ``--workers N`` (process-parallel
-execution) and a persistence option: ``--store FILE`` names the SQLite
-result store directly, ``--cache-dir DIR`` opens ``DIR/results.sqlite``
-(importing any legacy per-spec JSON cache entries found there, once).
-With either, completed cells are committed incrementally and a
-re-invoked sweep resumes by computing only the missing cells.
+execution) and ``--store FILE``, the canonical persistence option
+naming the SQLite result store; completed cells are committed
+incrementally and a re-invoked sweep resumes by computing only the
+missing cells.  ``--cache-dir DIR`` is a **deprecated** alias that
+opens ``DIR/results.sqlite`` (importing any legacy per-spec JSON cache
+entries found there, once) and emits a ``DeprecationWarning``.
 """
 
 from __future__ import annotations
@@ -42,16 +46,17 @@ def _add_pool_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store", default=None, metavar="FILE",
         help=(
-            "SQLite result store; completed cells are committed "
-            "incrementally and never re-simulated (wins over "
-            "--cache-dir)"
+            "SQLite result store (the canonical persistence option); "
+            "completed cells are committed incrementally and never "
+            "re-simulated (wins over --cache-dir)"
         ),
     )
     parser.add_argument(
         "--cache-dir", default=None,
         help=(
-            "directory whose results.sqlite backs the sweep; legacy "
-            "per-spec JSON cache entries found there are imported once"
+            "DEPRECATED alias for --store: opens DIR/results.sqlite "
+            "(importing legacy per-spec JSON cache entries once) and "
+            "emits a DeprecationWarning; use --store FILE instead"
         ),
     )
     parser.add_argument(
@@ -65,12 +70,27 @@ def _add_pool_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _make_pool(args: argparse.Namespace):
+    import warnings
+
     from repro.orchestration import ExperimentPool
 
+    store = getattr(args, "store", None)
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None and store is None:
+        # Convert here (not via the pool's own deprecated keyword) so
+        # the warning names the CLI flag the user actually typed.
+        warnings.warn(
+            "--cache-dir is deprecated; pass --store FILE instead "
+            "(legacy JSON entries in the directory are imported once)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.results import ResultStore
+
+        store = ResultStore.at_directory(cache_dir)
     return ExperimentPool(
         workers=args.workers,
-        cache_dir=args.cache_dir,
-        store=getattr(args, "store", None),
+        store=store,
         batch_size=getattr(args, "batch_size", 16),
     )
 
@@ -234,6 +254,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     show.add_argument("name", type=_parse_scenario_token)
     show.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation service (HTTP submission/query server)",
+    )
+    serve.add_argument(
+        "--store", default="results.sqlite", metavar="FILE",
+        help="SQLite result store backing the service (created if missing)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8000,
+        help="listening port (0 = pick an ephemeral port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per job (1 = serial in-process)",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=16,
+        help="seed-batch width forwarded to the job pool",
+    )
+
+    def _add_url_argument(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--url", default="http://127.0.0.1:8000", metavar="URL",
+            help="base URL of a running 'repro serve' instance",
+        )
+
+    submit = sub.add_parser(
+        "submit", help="submit a spec/grid to a running service"
+    )
+    _add_url_argument(submit)
+    submit.add_argument(
+        "--json", dest="json_file", default=None, metavar="FILE",
+        help=(
+            "submission body file ('-' = stdin) carrying {'spec': ...}, "
+            "{'specs': [...]} or {'grid': ...}; overrides the grid flags"
+        ),
+    )
+    submit.add_argument(
+        "--patterns", nargs="+", type=_parse_pattern_token, default=None,
+        help="traffic patterns (I II III IV mixed)",
+    )
+    submit.add_argument(
+        "--scenario", "--scenarios", dest="scenarios", nargs="+",
+        type=_parse_scenario_token, default=None, metavar="NAME",
+        help="catalog scenarios, e.g. steady-4x4 surge-3x3",
+    )
+    submit.add_argument(
+        "--controllers", nargs="+", type=_parse_controller_token,
+        default=[("util-bp", {})], metavar="NAME[:key=val,...]",
+    )
+    submit.add_argument("--seeds", nargs="+", type=int, default=[1])
+    submit.add_argument(
+        "--engine", "--engines", dest="engine", nargs="+",
+        choices=ENGINE_NAMES, default=["meso"], metavar="ENGINE",
+    )
+    submit.add_argument("--duration", type=float, default=1800.0)
+    submit.add_argument(
+        "--wait", type=float, default=None, metavar="SECONDS",
+        help="block until the job is terminal (polling the service)",
+    )
+
+    jobs = sub.add_parser(
+        "jobs", help="list or inspect jobs on a running service"
+    )
+    _add_url_argument(jobs)
+    jobs.add_argument(
+        "job_id", nargs="?", default=None,
+        help="job to describe (omit to list all jobs)",
+    )
+    jobs.add_argument(
+        "--events", action="store_true",
+        help="print the job's recorded events (requires a job id)",
+    )
 
     table3 = sub.add_parser("table3", help="reproduce Table III")
     table3.add_argument("--engine", choices=ENGINE_NAMES, default="meso")
@@ -523,22 +619,129 @@ def _run_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    if args.json_file is not None:
+        if args.json_file == "-":
+            body = _json.load(sys.stdin)
+        else:
+            with open(args.json_file, "r", encoding="utf-8") as handle:
+                body = _json.load(handle)
+    else:
+        from repro.orchestration import SweepGrid
+
+        grid = SweepGrid(
+            patterns=(
+                None if args.patterns is None else tuple(args.patterns)
+            ),
+            scenarios=tuple(args.scenarios or ()),
+            controllers=tuple(args.controllers),
+            seeds=tuple(args.seeds),
+            engines=tuple(args.engine),
+            durations=(args.duration,),
+        )
+        body = {"grid": grid.to_dict()}
+    try:
+        view = client.submit(body)
+        job = view["job"]
+        print(
+            f"submitted {job['job_id']}: {job['counts']['total']} cells "
+            f"({job['counts']['shared']} shared with earlier jobs)"
+        )
+        if args.wait is not None:
+            view = client.job(job["job_id"], wait=args.wait)
+            job = view["job"]
+        counts = job["counts"]
+        print(
+            f"{job['job_id']}: {job['state']} — "
+            f"{counts['done']}/{counts['total']} done "
+            f"({counts['from_store']} from store, "
+            f"{counts['executed']} executed, {counts['failed']} failed)"
+        )
+        return 0 if job["state"] != "failed" else 1
+    except ServiceError as error:
+        print(f"repro submit: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(
+            f"repro submit: cannot reach {args.url}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+
+
+def _run_jobs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.util.tables import render_table
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job_id is None:
+            jobs = client.jobs()["jobs"]
+            rows = [
+                (
+                    job["job_id"],
+                    job["state"],
+                    job["counts"]["total"],
+                    job["counts"]["done"],
+                    job["counts"]["failed"],
+                    job["counts"]["from_store"],
+                    job["counts"]["executed"],
+                )
+                for job in jobs
+            ]
+            print(
+                render_table(
+                    (
+                        "job", "state", "cells", "done", "failed",
+                        "from store", "executed",
+                    ),
+                    rows,
+                    title=f"Jobs at {args.url} — {len(rows)}",
+                )
+            )
+            return 0
+        if args.events:
+            for event in client.iter_events(args.job_id, follow=False):
+                print(_json.dumps(event))
+            return 0
+        view = client.job(args.job_id)
+        print(_json.dumps(view["job"], indent=2, sort_keys=True))
+        return 0
+    except ServiceError as error:
+        print(f"repro jobs: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(
+            f"repro jobs: cannot reach {args.url}: {error}", file=sys.stderr
+        )
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
 
     if args.command == "run":
-        from repro.experiments import build_scenario, run_scenario
+        from repro.experiments import RunConfig, build_scenario, run_scenario
 
         params = {}
         if args.period is not None:
             params["period"] = args.period
         result = run_scenario(
             build_scenario(args.pattern, seed=args.seed),
-            controller=args.controller,
-            controller_params=params,
-            duration=args.duration,
-            engine=args.engine,
+            config=RunConfig(
+                controller=args.controller,
+                controller_params=params,
+                duration=args.duration,
+                engine=args.engine,
+            ),
         )
         print(result.summary)
         print(
@@ -555,6 +758,24 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "scenarios":
         return _run_scenarios(args)
+
+    if args.command == "serve":
+        from repro.service import serve as run_service
+
+        run_service(
+            store=args.store,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            batch_size=args.batch_size,
+        )
+        return 0
+
+    if args.command == "submit":
+        return _run_submit(args)
+
+    if args.command == "jobs":
+        return _run_jobs(args)
 
     if args.command == "table3":
         from repro.experiments.table3 import render_table3, run_table3

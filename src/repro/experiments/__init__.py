@@ -35,10 +35,12 @@ from repro.experiments.patterns import (
     pattern_description,
 )
 from repro.experiments.runner import (
+    RunConfig,
     RunResult,
     build_engine,
     register_engine,
     run_scenario,
+    run_scenario_batch,
 )
 from repro.scenarios.core import DEFAULT_DURATIONS, Scenario, build_scenario
 
@@ -53,8 +55,10 @@ __all__ = [
     "Scenario",
     "build_scenario",
     "DEFAULT_DURATIONS",
+    "RunConfig",
     "RunResult",
     "run_scenario",
+    "run_scenario_batch",
     "build_engine",
     "register_engine",
 ]

@@ -14,7 +14,6 @@ compatibility.
 
 from __future__ import annotations
 
-import sys
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Optional, Sequence, Tuple
 
@@ -35,6 +34,7 @@ from repro.metrics.collector import Summary
 from repro.metrics.traces import PhaseTrace, QueueTrace, next_grid_sample
 from repro.metrics.utilization import UtilizationTracker
 from repro.model.phases import TRANSITION_PHASE_INDEX
+from repro.util.logging import get_logger
 from repro.util.validation import check_positive
 
 __all__ = [
@@ -80,7 +80,25 @@ class RunConfig:
 
     @classmethod
     def resolve(cls, default_engine: str, knobs: Dict[str, Any]) -> "RunConfig":
-        """Build a config from a runner's ``**knobs``, eagerly validated."""
+        """Build a config from a runner's ``**knobs``, eagerly validated.
+
+        ``config=<RunConfig>`` passes a ready-made config through (the
+        orchestration layer's path — :meth:`RunSpec.run_config`); it
+        cannot be combined with loose knobs, so a call site is always
+        unambiguously on one surface or the other.
+        """
+        config = knobs.pop("config", None)
+        if config is not None:
+            if not isinstance(config, cls):
+                raise TypeError(
+                    f"config must be a {cls.__name__}, got {type(config).__name__}"
+                )
+            if knobs:
+                raise TypeError(
+                    f"config= cannot be combined with loose run knob(s) "
+                    f"{sorted(knobs)}"
+                )
+            return config
         valid = {f.name for f in fields(cls)}
         unknown = sorted(set(knobs) - valid)
         if unknown:
@@ -325,11 +343,16 @@ def run_scenario_batch(scenarios: Sequence[Scenario], **knobs: Any) -> list:
             # fixed-time is open-loop; its per-replication instances
             # produce one shared phase pattern the engine compresses,
             # so only closed-loop fallbacks are worth flagging.
-            print(
-                f"repro: closed-loop batch of {len(scenarios)} replications "
-                f"falling back to per-replication {controller!r} controllers "
-                f"(no batched implementation)",
-                file=sys.stderr,
+            get_logger("runner").warning(
+                "batch_controller_fallback",
+                message=(
+                    f"closed-loop batch of {len(scenarios)} replications "
+                    f"falling back to per-replication {controller!r} "
+                    f"controllers (no batched implementation)"
+                ),
+                controller=controller,
+                engine=config.engine,
+                replications=len(scenarios),
             )
         controllers = [
             make_network_controller(

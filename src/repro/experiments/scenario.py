@@ -25,7 +25,8 @@ from repro.scenarios.core import (  # noqa: F401  (re-exports)
 )
 
 warnings.warn(
-    "repro.experiments.scenario is deprecated; import from "
+    "repro.experiments.scenario is deprecated and will be removed in "
+    "repro 1.2 (no earlier than 2026-12-01); import from "
     "repro.scenarios.core instead",
     DeprecationWarning,
     stacklevel=2,

@@ -17,10 +17,19 @@ so results cannot depend on which worker runs a cell or in what order.
   it mid-flight, re-run it against the same store, and only the
   missing cells execute.
 
-``store`` accepts a live :class:`ResultStore` or a path to its SQLite
-file; ``cache_dir`` (the older directory-shaped option, kept on every
-CLI command) opens ``<dir>/results.sqlite`` and imports any legacy
-per-spec JSON cache entries found in the directory exactly once.
+``store`` is the one canonical persistence keyword: it accepts a live
+:class:`ResultStore` or a path to its SQLite file.  ``cache_dir`` (the
+older directory-shaped option) is a **deprecated** alias that opens
+``<dir>/results.sqlite`` and imports any legacy per-spec JSON cache
+entries found in the directory exactly once; it emits a
+``DeprecationWarning`` and will be removed — open the store with
+:meth:`ResultStore.at_directory` and pass it as ``store`` instead.
+
+Long-running callers (the HTTP service's job worker) drive the pool
+incrementally: ``run(specs, on_cell=...)`` invokes the callback the
+moment each unique cell is satisfied — whether served from the store
+or freshly executed — so progress can be streamed while the batch is
+still in flight.
 
 Results travel between processes (and to/from the store) as the plain
 dict form produced by ``RunResult.to_dict``; both execution paths
@@ -32,18 +41,34 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.engine import batch_provider_module, has_batch_engine, provider_module
 from repro.experiments.runner import RunResult
 from repro.orchestration.spec import BatchRunSpec, RunSpec
 
-__all__ = ["ExperimentPool", "PoolStats"]
+__all__ = ["CellCallback", "ExperimentPool", "PoolStats"]
 
 #: One schedulable unit of work: a single cell, or a seed-batch.
 _WorkUnit = Union[RunSpec, BatchRunSpec]
+
+#: Per-cell completion callback: ``(spec, result, source)`` where
+#: ``source`` is ``"store"`` (served without simulating) or
+#: ``"executed"`` (freshly computed); called once per unique spec.
+CellCallback = Callable[[RunSpec, RunResult, str], None]
 
 
 def _execute_payload(
@@ -101,12 +126,15 @@ class ExperimentPool:
         Worker processes; ``1`` (default) runs everything serially
         in-process.
     cache_dir:
-        Directory-shaped persistence option: opens (creating if
-        needed) ``<cache_dir>/results.sqlite`` as the pool's store and
-        imports any legacy per-spec JSON cache entries found in the
-        directory, once.  Ignored when ``store`` is given.
+        **Deprecated** alias for ``store`` (emits a
+        ``DeprecationWarning``): opens (creating if needed)
+        ``<cache_dir>/results.sqlite`` as the pool's store and imports
+        any legacy per-spec JSON cache entries found in the directory,
+        once.  Ignored when ``store`` is given; migrate to
+        ``store=ResultStore.at_directory(cache_dir)``.
     store:
-        A :class:`~repro.results.store.ResultStore`, or a path to its
+        The canonical persistence option: a
+        :class:`~repro.results.store.ResultStore`, or a path to its
         SQLite file; ``None`` (with no ``cache_dir``) disables
         persistence.  Completed cells are committed incrementally, so
         a warm store makes re-running a completed sweep free and an
@@ -133,6 +161,14 @@ class ExperimentPool:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.batch_size = int(batch_size)
+        if cache_dir is not None:
+            warnings.warn(
+                "ExperimentPool(cache_dir=...) is deprecated; pass "
+                "store=ResultStore.at_directory(cache_dir) (or a store "
+                "file path) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if store is None and cache_dir is not None:
             from repro.results.store import ResultStore
 
@@ -146,11 +182,20 @@ class ExperimentPool:
 
     # -- public API ---------------------------------------------------------
 
-    def run(self, specs: Iterable[RunSpec]) -> List[RunResult]:
+    def run(
+        self,
+        specs: Iterable[RunSpec],
+        on_cell: Optional[CellCallback] = None,
+    ) -> List[RunResult]:
         """Execute a batch of specs; results match the input order.
 
         Store hits are returned without simulating; duplicate specs in
-        one batch are executed once and fanned back out.
+        one batch are executed once and fanned back out.  ``on_cell``
+        (if given) is invoked once per *unique* spec the moment it is
+        satisfied — ``on_cell(spec, result, "store")`` for store hits,
+        ``on_cell(spec, result, "executed")`` for fresh executions
+        (after the store commit) — so long-running callers can stream
+        per-cell progress while the batch is in flight.
         """
         spec_list = list(specs)
         results: List[Optional[RunResult]] = [None] * len(spec_list)
@@ -168,6 +213,8 @@ class ExperimentPool:
                 self.stats.cache_hits += 1
                 for index in indices:
                     results[index] = cached
+                if on_cell is not None:
+                    on_cell(spec, cached, "store")
             else:
                 pending[spec] = indices
 
@@ -175,9 +222,9 @@ class ExperimentPool:
             units = self._plan_units(list(pending))
             if self.workers == 1 or len(units) == 1:
                 for unit in units:
-                    self._execute_unit(unit, pending, results)
+                    self._execute_unit(unit, pending, results, on_cell)
             else:
-                self._run_parallel(units, pending, results)
+                self._run_parallel(units, pending, results, on_cell)
 
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
@@ -229,14 +276,15 @@ class ExperimentPool:
         unit: _WorkUnit,
         pending: Dict[RunSpec, List[int]],
         results: List[Optional[RunResult]],
+        on_cell: Optional[CellCallback] = None,
     ) -> None:
         """Run one work unit in-process and account its results."""
         if isinstance(unit, BatchRunSpec):
             payloads = _execute_batch_payload(unit)
             for spec, payload in zip(unit.specs(), payloads):
-                self._finish(spec, payload, pending, results)
+                self._finish(spec, payload, pending, results, on_cell)
         else:
-            self._finish(unit, _execute_payload(unit), pending, results)
+            self._finish(unit, _execute_payload(unit), pending, results, on_cell)
 
     def _finish(
         self,
@@ -244,6 +292,7 @@ class ExperimentPool:
         payload: Dict[str, Any],
         pending: Dict[RunSpec, List[int]],
         results: List[Optional[RunResult]],
+        on_cell: Optional[CellCallback] = None,
     ) -> None:
         """Account, persist and fan out one completed cell."""
         self.stats.executed += 1
@@ -252,12 +301,15 @@ class ExperimentPool:
         result = RunResult.from_dict(payload)
         for index in pending[spec]:
             results[index] = result
+        if on_cell is not None:
+            on_cell(spec, result, "executed")
 
     def _run_parallel(
         self,
         units: Sequence[_WorkUnit],
         pending: Dict[RunSpec, List[int]],
         results: List[Optional[RunResult]],
+        on_cell: Optional[CellCallback] = None,
     ) -> None:
         """Fan work units (cells or seed-batches) out over processes.
 
@@ -299,8 +351,8 @@ class ExperimentPool:
                 unit = futures[future]
                 if isinstance(unit, BatchRunSpec):
                     for spec, spec_payload in zip(unit.specs(), payload):
-                        self._finish(spec, spec_payload, pending, results)
+                        self._finish(spec, spec_payload, pending, results, on_cell)
                 else:
-                    self._finish(unit, payload, pending, results)
+                    self._finish(unit, payload, pending, results, on_cell)
         if first_error is not None:
             raise first_error

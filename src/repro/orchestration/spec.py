@@ -25,7 +25,12 @@ from itertools import product
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.engine import engine_names, has_batch_engine
-from repro.experiments.runner import RunResult, run_scenario, run_scenario_batch
+from repro.experiments.runner import (
+    RunConfig,
+    RunResult,
+    run_scenario,
+    run_scenario_batch,
+)
 from repro.scenarios import (
     Scenario,
     build_named_scenario,
@@ -225,10 +230,9 @@ class RunSpec:
             self.pattern, seed=self.seed, **self.scenario_kwargs()
         )
 
-    def execute(self) -> RunResult:
-        """Run the cell (in whatever process this is called from)."""
-        return run_scenario(
-            self.make_scenario(),
+    def run_config(self) -> RunConfig:
+        """This spec's run knobs as one validated :class:`RunConfig`."""
+        return RunConfig(
             controller=self.controller,
             controller_params=self.controller_kwargs(),
             duration=self.duration,
@@ -238,6 +242,10 @@ class RunSpec:
             record_queues=self.record_queues,
             queue_sample_interval=self.queue_sample_interval,
         )
+
+    def execute(self) -> RunResult:
+        """Run the cell (in whatever process this is called from)."""
+        return run_scenario(self.make_scenario(), config=self.run_config())
 
 
 def execute_spec(spec: RunSpec) -> RunResult:
@@ -307,17 +315,7 @@ class BatchRunSpec:
             for seed in self.seeds
         ]
         return tuple(
-            run_scenario_batch(
-                scenarios,
-                controller=template.controller,
-                controller_params=template.controller_kwargs(),
-                duration=template.duration,
-                engine=template.engine,
-                mini_slot=template.mini_slot,
-                record_phases=template.record_phases,
-                record_queues=template.record_queues,
-                queue_sample_interval=template.queue_sample_interval,
-            )
+            run_scenario_batch(scenarios, config=template.run_config())
         )
 
 
@@ -409,6 +407,90 @@ class SweepGrid:
         return tuple(
             [(pattern, ()) for pattern in self.patterns]
             + list(self.scenarios)
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable view of the (normalized) grid.
+
+        This is the grid's wire format: the HTTP service accepts it as
+        a submission body, and :meth:`from_dict` round-trips it
+        exactly.
+        """
+        return {
+            "patterns": list(self.patterns),
+            "scenarios": [
+                [name, _params_to_json(params)]
+                for name, params in self.scenarios
+            ],
+            "controllers": [
+                [name, _params_to_json(params)]
+                for name, params in self.controllers
+            ],
+            "seeds": list(self.seeds),
+            "engines": list(self.engines),
+            "durations": list(self.durations),
+            "mini_slot": self.mini_slot,
+            "scenario_params": _params_to_json(self.scenario_params),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepGrid":
+        """Build a grid from its JSON form (lenient, eagerly validated).
+
+        Accepts the exact :meth:`to_dict` shape, but is deliberately
+        forgiving about the hand-written variants a service client
+        would send: every key is optional, controller/scenario entries
+        may be bare names (``"util-bp"``) or ``[name, params]`` pairs
+        with the params as a mapping or a ``[key, value]`` list.
+        Unknown keys raise ``ValueError`` — the wire format is a public
+        contract, so a typo'd axis must not be silently dropped.
+        """
+        known = {
+            "patterns",
+            "scenarios",
+            "controllers",
+            "seeds",
+            "engines",
+            "durations",
+            "mini_slot",
+            "scenario_params",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown sweep-grid key(s) {unknown}; known: {sorted(known)}"
+            )
+
+        def entries(value):
+            out = []
+            for entry in value:
+                if isinstance(entry, str):
+                    out.append((entry, ()))
+                else:
+                    name, params = entry
+                    if isinstance(params, Mapping):
+                        out.append((name, params))
+                    else:
+                        out.append(
+                            (name, tuple((k, v) for k, v in params or ()))
+                        )
+            return tuple(out)
+
+        patterns = payload.get("patterns")
+        scenario_params = payload.get("scenario_params") or ()
+        if not isinstance(scenario_params, Mapping):
+            scenario_params = tuple((k, v) for k, v in scenario_params)
+        return cls(
+            patterns=None if patterns is None else tuple(patterns),
+            scenarios=entries(payload.get("scenarios", ())),
+            controllers=entries(payload.get("controllers", ("util-bp",))),
+            seeds=tuple(payload.get("seeds", (1,))),
+            engines=tuple(payload.get("engines", ("meso",))),
+            durations=tuple(payload.get("durations", (None,))),
+            mini_slot=float(payload.get("mini_slot", 1.0)),
+            scenario_params=scenario_params,
         )
 
     def __len__(self) -> int:

@@ -31,6 +31,22 @@ return payloads over the executor, so there is no cross-process SQLite
 write contention inside a single sweep.  Concurrent *separate* sweeps
 sharing a store file are serialized by SQLite itself (WAL + busy
 timeout).
+
+One writer, many readers
+------------------------
+The HTTP service (:mod:`repro.service`) put the store in front of
+concurrent clients, which sharpened the concurrency contract:
+
+* exactly **one** connection (the job worker's pool) writes;
+* every query request opens its own **read-only** connection
+  (``ResultStore(path, read_only=True)`` or :meth:`ResultStore.reader`)
+  backed by SQLite's ``mode=ro`` + ``query_only`` — a reader physically
+  cannot write, and under WAL it never blocks (or is blocked by) the
+  writer;
+* because each :meth:`put` is a single committed transaction, readers
+  see whole rows or nothing — never a torn payload
+  (``tests/test_results_store.py`` exercises many readers against a
+  live writer).
 """
 
 from __future__ import annotations
@@ -115,24 +131,50 @@ class ResultStore:
         imported into the store the first time this store opens with
         the directory, and never read again afterwards (the import is
         recorded in the meta table).
+    read_only:
+        Open the SQLite file with ``mode=ro`` + ``PRAGMA query_only``:
+        the connection physically cannot write, :meth:`put` raises, and
+        under WAL the reader neither blocks nor is blocked by the (one)
+        writer.  The file must already exist.
     """
 
     def __init__(
         self,
         path: Union[str, os.PathLike],
         import_json_dir: Optional[Union[str, os.PathLike]] = None,
+        read_only: bool = False,
     ):
         self.path = path if str(path) == ":memory:" else Path(path)
-        if isinstance(self.path, Path):
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(str(self.path))
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.execute("PRAGMA busy_timeout=30000")
-        with self._conn:
-            self._conn.executescript(_SCHEMA)
+        self.read_only = bool(read_only)
+        if self.read_only:
+            if not isinstance(self.path, Path):
+                raise ValueError("an in-memory store cannot be read-only")
+            if import_json_dir is not None:
+                raise ValueError(
+                    "a read-only store cannot import a JSON cache dir"
+                )
+            self._conn = sqlite3.connect(
+                f"file:{self.path}?mode=ro", uri=True
+            )
+            # Belt and braces on top of mode=ro: even meta writes fail.
+            self._conn.execute("PRAGMA query_only=ON")
+            self._conn.execute("PRAGMA busy_timeout=30000")
+        else:
+            if isinstance(self.path, Path):
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._conn = sqlite3.connect(str(self.path))
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            with self._conn:
+                self._conn.executescript(_SCHEMA)
         layout = self._get_meta("layout_version")
         if layout is None:
+            if self.read_only:
+                raise ValueError(
+                    f"store {self.path} has no layout version; it was "
+                    f"never opened writable"
+                )
             self._set_meta("layout_version", str(STORE_LAYOUT_VERSION))
         elif int(layout) > STORE_LAYOUT_VERSION:
             raise ValueError(
@@ -151,6 +193,18 @@ class ResultStore:
         directory = Path(directory)
         return cls(directory / STORE_FILENAME, import_json_dir=directory)
 
+    @classmethod
+    def reader(cls, path: Union[str, os.PathLike]) -> "ResultStore":
+        """Open an existing store file read-only (one per reader/request)."""
+        return cls(path, read_only=True)
+
+    @property
+    def journal_mode(self) -> str:
+        """The live SQLite journal mode (``"wal"`` for file stores)."""
+        return str(
+            self._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        ).lower()
+
     # -- core API -----------------------------------------------------------
 
     def put(
@@ -161,6 +215,8 @@ class ResultStore:
         Each call is its own committed transaction: a sweep killed
         right after ``put`` returns keeps the cell.
         """
+        if self.read_only:
+            raise ValueError(f"store {self.path} is open read-only")
         payload = result.to_dict() if isinstance(result, RunResult) else dict(result)
         summary = payload.get("summary") or {}
         with self._conn:

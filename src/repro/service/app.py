@@ -1,0 +1,435 @@
+"""The simulation service application: routes over store + jobs.
+
+Endpoints (all responses are JSON carrying ``api_version`` and
+``request_id``; see the README "Serving results" section for the
+schema of each):
+
+========  ==============================  =====================================
+GET       ``/healthz``                    liveness + store + cumulative stats
+GET       ``/api``                        API version and endpoint map
+POST      ``/jobs``                       submit a ``RunSpec`` / ``SweepGrid``
+GET       ``/jobs``                       list jobs
+GET       ``/jobs/{job_id}``              poll one job (``?wait=SECONDS``)
+GET       ``/jobs/{job_id}/events``       NDJSON event stream (``?follow=0``)
+GET       ``/jobs/{job_id}/results``      completed cells (``?full=1``)
+GET       ``/results/query``              filter stored cells by spec axes
+GET       ``/results/aggregate``          mean/std/ci95 across store groups
+GET       ``/results/{hash_prefix}``      one stored cell by hash prefix
+========  ==============================  =====================================
+
+Submission body: ``{"spec": {...}}`` (one ``RunSpec.to_dict`` form),
+``{"specs": [...]}`` or ``{"grid": {...}}`` (``SweepGrid.from_dict``
+form).  Identical cells are deduplicated across jobs and clients by
+spec content hash — the cell registry shares one computation — and
+cells already in the store are served without simulating.
+
+Concurrency contract: the job worker owns the single writable store
+connection; every query endpoint opens a fresh **read-only** SQLite
+connection for the duration of the request, so readers never block the
+writer (WAL) and physically cannot corrupt the store.
+
+Every request gets a ``request_id`` bound into the structured-log
+context, so each log line of a request (and of the jobs it submitted)
+is attributable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import secrets
+import sqlite3
+from typing import Any, Dict, List, Optional
+
+from repro.api import API_VERSION
+from repro.orchestration.spec import RunSpec, SweepGrid
+from repro.results.aggregate import AXES, DEFAULT_METRICS, aggregate
+from repro.results.store import ResultStore
+from repro.service.http import Handler, HttpError, HttpServer, Request, Response, Router
+from repro.service.jobs import JobManager
+from repro.util.logging import context_fields, get_logger, log_context
+
+__all__ = ["ServiceApp", "serve"]
+
+_request_counter = itertools.count(1)
+
+
+def _new_request_id() -> str:
+    return f"req-{next(_request_counter):06d}-{secrets.token_hex(3)}"
+
+
+class ServiceApp:
+    """Routes + handlers bound to one :class:`JobManager` and store."""
+
+    def __init__(
+        self,
+        store_path: str,
+        workers: int = 1,
+        batch_size: int = 16,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.store_path = str(store_path)
+        self.manager = JobManager(
+            self.store_path, workers=workers, batch_size=batch_size
+        )
+        self._log = get_logger("service")
+        router = Router()
+        router.add("GET", "/healthz", self.healthz)
+        router.add("GET", "/api", self.api_info)
+        router.add("POST", "/jobs", self.submit_job)
+        router.add("GET", "/jobs", self.list_jobs)
+        router.add("GET", "/jobs/{job_id}", self.get_job)
+        router.add("GET", "/jobs/{job_id}/events", self.job_events)
+        router.add("GET", "/jobs/{job_id}/results", self.job_results)
+        router.add("GET", "/results/query", self.results_query)
+        router.add("GET", "/results/aggregate", self.results_aggregate)
+        router.add("GET", "/results/{hash_prefix}", self.results_get)
+        self.server = HttpServer(
+            router, host=host, port=port, on_request=self._wrap_request
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the job worker and bind the listening socket."""
+        self.manager.start()
+        await self.server.start()
+        self._log.info(
+            "service_started",
+            host=self.server.host,
+            port=self.server.port,
+            store=self.store_path,
+            journal_mode=self.manager.journal_mode,
+            api_version=API_VERSION,
+        )
+
+    async def serve_forever(self) -> None:
+        await self.server.serve_forever()
+
+    async def close(self) -> None:
+        await self.server.close()
+        self.manager.stop()
+        self._log.info("service_stopped")
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    # -- request plumbing ---------------------------------------------------
+
+    async def _wrap_request(self, request: Request, handler: Handler) -> Response:
+        """Assign a request id, log, and envelope handler errors."""
+        request_id = request.headers.get("x-request-id") or _new_request_id()
+        with log_context(request_id=request_id):
+            self._log.info(
+                "request_received", method=request.method, path=request.path
+            )
+            try:
+                response = await handler(request)
+            except HttpError as error:
+                response = Response.json(
+                    self._envelope({"error": error.message}, request_id),
+                    error.status,
+                )
+            except Exception as error:  # noqa: BLE001 - becomes a 500
+                self._log.error(
+                    "request_crashed",
+                    method=request.method,
+                    path=request.path,
+                    error=f"{type(error).__name__}: {error}",
+                )
+                response = Response.json(
+                    self._envelope(
+                        {"error": f"internal error ({type(error).__name__})"},
+                        request_id,
+                    ),
+                    500,
+                )
+            response.headers.setdefault("X-Request-Id", request_id)
+            self._log.info(
+                "request_completed",
+                method=request.method,
+                path=request.path,
+                status=response.status,
+            )
+            return response
+
+    @staticmethod
+    def _envelope(payload: Dict[str, Any], request_id: str) -> Dict[str, Any]:
+        """The versioned response envelope every endpoint shares."""
+        merged = {"api_version": API_VERSION, "request_id": request_id}
+        merged.update(payload)
+        return merged
+
+    def _respond(
+        self, request: Request, payload: Dict[str, Any], status: int = 200
+    ) -> Response:
+        request_id = context_fields().get("request_id") or _new_request_id()
+        return Response.json(self._envelope(payload, request_id), status)
+
+    def _reader(self) -> Optional[ResultStore]:
+        """A fresh read-only store connection (None if unreadable)."""
+        try:
+            return ResultStore(self.store_path, read_only=True)
+        except (ValueError, sqlite3.OperationalError):
+            return None
+
+    # -- handlers: service --------------------------------------------------
+
+    async def healthz(self, request: Request) -> Response:
+        return self._respond(
+            request,
+            {
+                "status": "ok",
+                "store": self.store_path,
+                "journal_mode": self.manager.journal_mode,
+                "stats": self.manager.stats(),
+            },
+        )
+
+    async def api_info(self, request: Request) -> Response:
+        return self._respond(
+            request,
+            {
+                "endpoints": {
+                    "GET /healthz": "liveness + cumulative stats",
+                    "POST /jobs": "submit {'spec': ...} | {'specs': [...]} "
+                                  "| {'grid': ...}",
+                    "GET /jobs": "list jobs",
+                    "GET /jobs/{job_id}": "poll one job (?wait=SECONDS)",
+                    "GET /jobs/{job_id}/events": "NDJSON events (?follow=0)",
+                    "GET /jobs/{job_id}/results": "completed cells (?full=1)",
+                    "GET /results/query": "filter stored cells by spec axes",
+                    "GET /results/aggregate": "grouped mean/std/ci95",
+                    "GET /results/{hash_prefix}": "one stored cell",
+                },
+            },
+        )
+
+    # -- handlers: jobs -----------------------------------------------------
+
+    def _parse_submission(self, payload: Any) -> List[RunSpec]:
+        if not isinstance(payload, dict):
+            raise HttpError(400, "submission body must be a JSON object")
+        keys = [k for k in ("spec", "specs", "grid") if k in payload]
+        if len(keys) != 1:
+            raise HttpError(
+                400,
+                "submission must carry exactly one of 'spec', 'specs' "
+                "or 'grid'",
+            )
+        key = keys[0]
+        try:
+            if key == "spec":
+                return [RunSpec.from_dict(payload["spec"])]
+            if key == "specs":
+                entries = payload["specs"]
+                if not isinstance(entries, list) or not entries:
+                    raise ValueError("'specs' must be a non-empty list")
+                return [RunSpec.from_dict(entry) for entry in entries]
+            return list(SweepGrid.from_dict(payload["grid"]).specs())
+        except HttpError:
+            raise
+        except (KeyError, TypeError, ValueError) as error:
+            raise HttpError(400, f"invalid {key!r} submission: {error}")
+
+    async def submit_job(self, request: Request) -> Response:
+        specs = self._parse_submission(request.json())
+        request_id = context_fields().get("request_id")
+        job_id = self.manager.submit(specs, request_id=request_id)
+        return self._respond(
+            request, {"job": self.manager.describe(job_id)}, status=202
+        )
+
+    async def list_jobs(self, request: Request) -> Response:
+        return self._respond(request, {"jobs": self.manager.jobs()})
+
+    def _job_or_404(self, job_id: str) -> None:
+        try:
+            self.manager.describe(job_id, include_cells=False)
+        except KeyError:
+            raise HttpError(404, f"unknown job {job_id!r}")
+
+    async def get_job(self, request: Request) -> Response:
+        job_id = request.path_params["job_id"]
+        self._job_or_404(job_id)
+        wait = request.param("wait")
+        if wait is not None:
+            try:
+                timeout = min(float(wait), 300.0)
+            except ValueError:
+                raise HttpError(400, f"malformed wait={wait!r}")
+            # Block in a thread so the event loop keeps serving.
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: self.manager.wait(job_id, timeout=timeout)
+            )
+        return self._respond(request, {"job": self.manager.describe(job_id)})
+
+    async def job_events(self, request: Request) -> Response:
+        job_id = request.path_params["job_id"]
+        self._job_or_404(job_id)
+        follow = request.param("follow", "1") not in ("0", "false", "no")
+        manager = self.manager
+
+        async def stream():
+            seq = 0
+            while True:
+                events, terminal = manager.events_since(job_id, seq)
+                for event in events:
+                    yield (json.dumps(event) + "\n").encode("utf-8")
+                seq += len(events)
+                if terminal or not follow:
+                    return
+                await asyncio.sleep(0.05)
+
+        return Response.ndjson(stream())
+
+    async def job_results(self, request: Request) -> Response:
+        job_id = request.path_params["job_id"]
+        self._job_or_404(job_id)
+        full = request.param("full", "0") not in ("0", "false", "no")
+        return self._respond(
+            request,
+            {
+                "job_id": job_id,
+                "results": self.manager.job_results(job_id, full=full),
+            },
+        )
+
+    # -- handlers: stored results ------------------------------------------
+
+    _QUERY_FILTERS = ("pattern", "controller", "engine", "seed", "delay_mode")
+
+    def _store_filters(self, request: Request) -> Dict[str, Any]:
+        filters: Dict[str, Any] = {}
+        for name in self._QUERY_FILTERS:
+            value = request.param(name)
+            if value is None:
+                continue
+            if name == "seed":
+                try:
+                    filters[name] = int(value)
+                except ValueError:
+                    raise HttpError(400, f"malformed seed={value!r}")
+            else:
+                filters[name] = value
+        return filters
+
+    async def results_query(self, request: Request) -> Response:
+        filters = self._store_filters(request)
+        limit_text = request.param("limit")
+        try:
+            limit = None if limit_text is None else max(int(limit_text), 0)
+        except ValueError:
+            raise HttpError(400, f"malformed limit={limit_text!r}")
+        reader = self._reader()
+        if reader is None:
+            return self._respond(request, {"rows": [], "total": 0})
+        with reader:
+            records = reader.query(**filters)
+        rows = [
+            {
+                "spec_hash": record.spec_hash,
+                "label": record.spec.label(),
+                "pattern": record.spec.pattern,
+                "controller": record.spec.controller,
+                "engine": record.spec.engine,
+                "seed": record.spec.seed,
+                "duration": record.spec.duration,
+                "scenario_name": record.result.scenario_name,
+                "summary": record.result.summary.to_dict(),
+            }
+            for record in (
+                records if limit is None else records[:limit]
+            )
+        ]
+        return self._respond(
+            request, {"rows": rows, "total": len(records)}
+        )
+
+    async def results_aggregate(self, request: Request) -> Response:
+        by_text = request.param("by", "pattern,controller,engine")
+        by = tuple(axis.strip() for axis in by_text.split(",") if axis.strip())
+        unknown = [axis for axis in by if axis not in AXES]
+        if unknown:
+            raise HttpError(
+                400, f"unknown aggregation axes {unknown}; known: {sorted(AXES)}"
+            )
+        metrics_text = request.param("metrics")
+        metrics = (
+            DEFAULT_METRICS
+            if metrics_text is None
+            else tuple(m.strip() for m in metrics_text.split(",") if m.strip())
+        )
+        filters = self._store_filters(request)
+        reader = self._reader()
+        if reader is None:
+            return self._respond(request, {"rows": [], "cells": 0})
+        with reader:
+            records = reader.query(**filters)
+        try:
+            rows = aggregate(
+                records, by=by, metrics=metrics, on_mixed_delay_mode="split"
+            )
+        except (AttributeError, ValueError) as error:
+            raise HttpError(400, f"aggregate failed: {error}")
+        return self._respond(
+            request, {"rows": rows, "cells": len(records), "by": list(by)}
+        )
+
+    async def results_get(self, request: Request) -> Response:
+        prefix = request.path_params["hash_prefix"]
+        full = request.param("full", "0") not in ("0", "false", "no")
+        reader = self._reader()
+        if reader is None:
+            raise HttpError(404, f"no stored cell matches {prefix!r}")
+        with reader:
+            matches = reader.find(prefix)
+        if not matches:
+            raise HttpError(404, f"no stored cell matches {prefix!r}")
+        if len(matches) > 1:
+            raise HttpError(
+                409,
+                f"hash prefix {prefix!r} is ambiguous "
+                f"({len(matches)} cells)",
+            )
+        record = matches[0]
+        payload: Dict[str, Any] = {
+            "spec_hash": record.spec_hash,
+            "label": record.spec.label(),
+            "spec": record.spec.to_dict(),
+            "summary": record.result.summary.to_dict(),
+            "created_at": record.created_at,
+        }
+        if full:
+            payload["result"] = record.result.to_dict()
+        return self._respond(request, payload)
+
+
+async def _serve_async(app: ServiceApp) -> None:
+    await app.start()
+    try:
+        await app.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await app.close()
+
+
+def serve(
+    store: str = "results.sqlite",
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    workers: int = 1,
+    batch_size: int = 16,
+) -> None:
+    """Run the simulation service until interrupted (blocking)."""
+    app = ServiceApp(
+        store, workers=workers, batch_size=batch_size, host=host, port=port
+    )
+    try:
+        asyncio.run(_serve_async(app))
+    except KeyboardInterrupt:
+        pass

@@ -239,3 +239,49 @@ class TestRunner:
             engine="micro",
         )
         assert result.summary.vehicles_entered > 0
+
+
+class TestRunConfigKeyword:
+    """``config=RunConfig(...)`` as the single validated knob surface."""
+
+    def test_config_object_drives_the_run(self):
+        from repro.experiments.runner import RunConfig
+
+        scenario = build_scenario("I", seed=3)
+        config = RunConfig(controller="util-bp", duration=60.0)
+        via_config = run_scenario(scenario, config=config)
+        via_knobs = run_scenario(
+            build_scenario("I", seed=3), controller="util-bp", duration=60.0
+        )
+        assert via_config == via_knobs
+
+    def test_config_cannot_mix_with_loose_knobs(self):
+        from repro.experiments.runner import RunConfig
+
+        scenario = build_scenario("I", seed=1)
+        with pytest.raises(TypeError, match="cannot be combined"):
+            run_scenario(
+                scenario, config=RunConfig(), duration=60.0
+            )
+
+    def test_config_must_be_a_runconfig(self):
+        scenario = build_scenario("I", seed=1)
+        with pytest.raises(TypeError, match="must be a RunConfig"):
+            run_scenario(scenario, config={"controller": "util-bp"})
+
+    def test_batch_accepts_config(self):
+        from repro.experiments.runner import RunConfig, run_scenario_batch
+
+        scenarios = [build_scenario("I", seed=s) for s in (1, 2)]
+        config = RunConfig(controller="util-bp", duration=60.0,
+                           engine="meso-vec")
+        batch = run_scenario_batch(scenarios, config=config)
+        assert len(batch) == 2
+        singles = [
+            run_scenario(build_scenario("I", seed=s), config=config)
+            for s in (1, 2)
+        ]
+        assert [r.summary for r in batch] == [r.summary for r in singles]
+
+    def test_runconfig_exported_from_experiments_package(self):
+        from repro.experiments import RunConfig, run_scenario_batch  # noqa: F401

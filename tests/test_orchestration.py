@@ -253,8 +253,8 @@ class TestExperimentPool:
 
     def test_duplicate_cached_specs_counted_once(self, tmp_path):
         spec = RunSpec(**QUICK)
-        ExperimentPool(cache_dir=tmp_path).run_one(spec)
-        warm = ExperimentPool(cache_dir=tmp_path)
+        ExperimentPool(store=tmp_path / "results.sqlite").run_one(spec)
+        warm = ExperimentPool(store=tmp_path / "results.sqlite")
         results = warm.run([spec, spec])
         assert warm.stats.cache_hits == 1  # one read, fanned out
         assert warm.stats.executed == 0
@@ -262,9 +262,9 @@ class TestExperimentPool:
 
     def test_scenario_spec_round_trips_through_cache(self, tmp_path):
         spec = RunSpec(pattern="surge-3x3", duration=60.0)
-        cold = ExperimentPool(cache_dir=tmp_path)
+        cold = ExperimentPool(store=tmp_path / "results.sqlite")
         first = cold.run_one(spec)
-        warm = ExperimentPool(cache_dir=tmp_path)
+        warm = ExperimentPool(store=tmp_path / "results.sqlite")
         second = warm.run_one(spec)
         assert warm.stats.cache_hits == 1
         assert warm.stats.executed == 0
@@ -273,11 +273,11 @@ class TestExperimentPool:
 
     def test_warm_cache_executes_nothing(self, tmp_path):
         specs = self._specs()
-        cold = ExperimentPool(workers=1, cache_dir=tmp_path)
+        cold = ExperimentPool(workers=1, store=tmp_path / "results.sqlite")
         first = cold.run(specs)
         assert cold.stats.executed == len(specs)
 
-        warm = ExperimentPool(workers=2, cache_dir=tmp_path)
+        warm = ExperimentPool(workers=2, store=tmp_path / "results.sqlite")
         second = warm.run(specs)
         assert warm.stats.executed == 0
         assert warm.stats.cache_hits == len(specs)
@@ -287,11 +287,11 @@ class TestExperimentPool:
         """An interrupted parallel sweep must resume from finished cells."""
         good = [RunSpec(**QUICK), RunSpec(**{**QUICK, "seed": 9})]
         bad = RunSpec(**{**QUICK, "controller": "cap-bp"})  # missing period
-        pool = ExperimentPool(workers=2, cache_dir=tmp_path)
+        pool = ExperimentPool(workers=2, store=tmp_path / "results.sqlite")
         with pytest.raises(TypeError, match="period"):
             pool.run([good[0], bad, good[1]])
 
-        resumed = ExperimentPool(workers=2, cache_dir=tmp_path)
+        resumed = ExperimentPool(workers=2, store=tmp_path / "results.sqlite")
         resumed.run(good)
         assert resumed.stats.executed == 0
         assert resumed.stats.cache_hits == len(good)
@@ -301,11 +301,11 @@ class TestExperimentPool:
         import sqlite3
 
         spec = RunSpec(**QUICK)
-        pool = ExperimentPool(cache_dir=tmp_path)
+        pool = ExperimentPool(store=tmp_path / "results.sqlite")
         pool.run_one(spec)
         with sqlite3.connect(tmp_path / "results.sqlite") as conn:
             conn.execute("UPDATE results SET spec_version = spec_version - 1")
-        again = ExperimentPool(cache_dir=tmp_path)
+        again = ExperimentPool(store=tmp_path / "results.sqlite")
         again.run_one(spec)
         assert again.stats.executed == 1  # stale entry treated as a miss
 
@@ -319,7 +319,7 @@ class TestExperimentPool:
         assert warm.stats.executed == 0
 
     def test_cache_distinguishes_specs(self, tmp_path):
-        pool = ExperimentPool(cache_dir=tmp_path)
+        pool = ExperimentPool(store=tmp_path / "results.sqlite")
         a = pool.run_one(RunSpec(**QUICK))
         b = pool.run_one(RunSpec(**{**QUICK, "seed": 9}))
         assert pool.stats.executed == 2
@@ -335,7 +335,7 @@ class TestExperimentPool:
         so serving one for the other would silently mislabel results."""
         meso_spec = RunSpec(**QUICK)
         counts_spec = RunSpec(**{**QUICK, "engine": "meso-counts"})
-        pool = ExperimentPool(cache_dir=tmp_path)
+        pool = ExperimentPool(store=tmp_path / "results.sqlite")
         meso_result = pool.run_one(meso_spec)
         counts_result = pool.run_one(counts_spec)
         assert pool.stats.executed == 2  # second run was NOT a cache hit
@@ -349,7 +349,7 @@ class TestExperimentPool:
             == meso_result.summary.vehicles_left
         )
         # Warm re-reads resolve each spec to its own entry.
-        warm = ExperimentPool(cache_dir=tmp_path)
+        warm = ExperimentPool(store=tmp_path / "results.sqlite")
         assert warm.run_one(meso_spec).summary.delay_mode == "per-vehicle"
         assert warm.run_one(counts_spec).summary.delay_mode == "aggregate"
         assert warm.stats.cache_hits == 2
@@ -465,3 +465,92 @@ class TestSeedBatching:
         assert [r.summary for r in results] == [
             spec.execute().summary for spec in specs
         ]
+
+
+class TestSweepGridWireFormat:
+    """``to_dict``/``from_dict`` — the service's submission format."""
+
+    def test_round_trip_preserves_specs(self):
+        grid = SweepGrid(
+            patterns=("I", "II"),
+            scenarios=(("surge-3x3", {"load": 1.2}),),
+            controllers=["util-bp", ("cap-bp", {"period": 18.0})],
+            seeds=(1, 2),
+            engines=("meso", "meso-counts"),
+            durations=(120.0,),
+        )
+        rebuilt = SweepGrid.from_dict(grid.to_dict())
+        assert rebuilt.specs() == grid.specs()
+        assert rebuilt.to_dict() == grid.to_dict()
+
+    def test_wire_format_survives_json(self):
+        import json
+
+        grid = SweepGrid(
+            scenarios=(("tidal-3x3", {"load": 0.8}),),
+            durations=(60.0,),
+        )
+        payload = json.loads(json.dumps(grid.to_dict()))
+        assert SweepGrid.from_dict(payload).specs() == grid.specs()
+
+    def test_from_dict_accepts_hand_written_variants(self):
+        grid = SweepGrid.from_dict(
+            {
+                "scenarios": ["steady-4x4"],  # bare string entry
+                "controllers": [
+                    "util-bp",
+                    ["cap-bp", {"period": 16}],  # mapping params
+                ],
+                "seeds": [3],
+                "durations": [60.0],
+            }
+        )
+        specs = grid.specs()
+        assert len(specs) == 2
+        assert {s.controller for s in specs} == {"util-bp", "cap-bp"}
+        assert all(s.pattern == "steady-4x4" for s in specs)
+
+    def test_every_key_optional(self):
+        grid = SweepGrid.from_dict({})
+        (spec,) = grid.specs()
+        assert spec.pattern == "I"
+        assert spec.controller == "util-bp"
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep-grid key"):
+            SweepGrid.from_dict({"patterns": ["I"], "speed": [1]})
+
+    def test_invalid_axis_values_still_validated(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            SweepGrid.from_dict({"engines": ["warp-drive"]})
+
+
+class TestCacheDirDeprecation:
+    """``cache_dir`` is a deprecated alias of the canonical ``store``."""
+
+    def test_pool_warns_but_still_works(self, tmp_path):
+        spec = RunSpec(**QUICK)
+        with pytest.warns(DeprecationWarning, match="cache_dir"):
+            pool = ExperimentPool(cache_dir=tmp_path)
+        pool.run_one(spec)
+        assert (tmp_path / "results.sqlite").is_file()
+        warm = ExperimentPool(store=tmp_path / "results.sqlite")
+        warm.run_one(spec)
+        assert warm.stats.cache_hits == 1  # same store file either way
+
+    def test_store_keyword_does_not_warn(self, tmp_path):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ExperimentPool(store=tmp_path / "s.sqlite")
+
+    def test_store_wins_over_cache_dir(self, tmp_path):
+        with pytest.warns(DeprecationWarning):
+            pool = ExperimentPool(
+                cache_dir=tmp_path / "legacy",
+                store=tmp_path / "canonical.sqlite",
+            )
+        pool.run_one(RunSpec(**QUICK))
+        assert (tmp_path / "canonical.sqlite").is_file()
+        assert not (tmp_path / "legacy").exists()

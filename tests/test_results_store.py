@@ -282,9 +282,11 @@ class TestJsonMigration:
         assert store.get(spec) == result
 
     def test_pool_cache_dir_serves_imported_entries(self, tmp_path):
+        """``cache_dir`` still works during its deprecation window."""
         spec = RunSpec(**QUICK)
         write_legacy_entry(tmp_path, spec, quick_result())
-        pool = ExperimentPool(cache_dir=tmp_path)
+        with pytest.warns(DeprecationWarning, match="cache_dir"):
+            pool = ExperimentPool(cache_dir=tmp_path)
         pool.run_one(spec)
         assert pool.stats.cache_hits == 1
         assert pool.stats.executed == 0
@@ -347,5 +349,7 @@ class TestJsonMigration:
         assert len(store) == 0
 
     def test_store_file_named_results_sqlite(self, tmp_path):
-        ExperimentPool(cache_dir=tmp_path).run_one(RunSpec(**QUICK))
+        with pytest.warns(DeprecationWarning, match="cache_dir"):
+            pool = ExperimentPool(cache_dir=tmp_path)
+        pool.run_one(RunSpec(**QUICK))
         assert (tmp_path / STORE_FILENAME).is_file()

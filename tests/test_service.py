@@ -1,0 +1,389 @@
+"""The simulation service: HTTP core, job layer, end-to-end contract."""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.api import API_VERSION
+from repro.orchestration.spec import RunSpec
+from repro.service.app import ServiceApp
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import HttpError, Request, Router
+from repro.service.jobs import JobManager
+from repro.util.logging import configure
+
+#: A cell small enough to simulate in well under a second.
+SPEC = {
+    "pattern": "steady-4x4",
+    "controller": "util-bp",
+    "engine": "meso",
+    "seed": 1,
+    "duration": 40.0,
+}
+
+
+def spec_dict(**overrides):
+    payload = dict(SPEC)
+    payload.update(overrides)
+    return payload
+
+
+class RunningService:
+    """A ServiceApp on a background event loop, bound to an ephemeral port."""
+
+    def __init__(self, store_path):
+        self.app = ServiceApp(str(store_path))
+        self.loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self._started.wait(10), "service did not start"
+        self.client = ServiceClient(f"http://127.0.0.1:{self.app.port}")
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.app.start())
+        self._started.set()
+        self.loop.run_forever()
+
+    def stop(self):
+        future = asyncio.run_coroutine_threadsafe(
+            self.app.server.close(), self.loop
+        )
+        future.result(10)
+        self.app.manager.stop()
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.loop.close()
+
+
+@pytest.fixture
+def service(tmp_path):
+    running = RunningService(tmp_path / "service.sqlite")
+    yield running
+    running.stop()
+
+
+class TestRouter:
+    async def _ok(self, request):
+        raise AssertionError("not dispatched in these tests")
+
+    def test_template_segments_captured(self):
+        router = Router()
+        router.add("GET", "/jobs/{job_id}/events", self._ok)
+        handler, params, known = router.match("GET", "/jobs/job-7/events")
+        assert handler is not None
+        assert params == {"job_id": "job-7"}
+        assert known
+
+    def test_unknown_path_vs_wrong_method(self):
+        router = Router()
+        router.add("GET", "/jobs", self._ok)
+        handler, _, known = router.match("POST", "/jobs")
+        assert handler is None and known  # 405 territory
+        handler, _, known = router.match("GET", "/nope")
+        assert handler is None and not known  # 404 territory
+
+    def test_request_json_errors(self):
+        request = Request("POST", "/jobs", {}, {}, body=b"{broken")
+        with pytest.raises(HttpError) as error:
+            request.json()
+        assert error.value.status == 400
+        empty = Request("POST", "/jobs", {}, {}, body=b"")
+        with pytest.raises(HttpError):
+            empty.json()
+
+
+class TestJobManager:
+    def test_requires_wal_store(self, tmp_path):
+        manager = JobManager(str(tmp_path / "s.sqlite"))
+        assert manager.journal_mode == "wal"
+
+    def test_duplicates_within_submission_collapse(self, tmp_path):
+        manager = JobManager(str(tmp_path / "s.sqlite"))
+        spec = RunSpec.from_dict(SPEC)
+        job_id = manager.submit([spec, spec, spec])
+        view = manager.describe(job_id)
+        assert view["counts"]["total"] == 1
+        manager.stop()
+
+    def test_identical_cells_shared_across_jobs(self, tmp_path):
+        manager = JobManager(str(tmp_path / "s.sqlite"))
+        spec = RunSpec.from_dict(SPEC)
+        first = manager.submit([spec])
+        second = manager.submit([spec])
+        assert manager.describe(first)["counts"]["shared"] == 0
+        assert manager.describe(second)["counts"]["shared"] == 1
+        manager.start()
+        assert manager.wait(first, timeout=60)
+        assert manager.wait(second, timeout=60)
+        assert manager.stats()["executed"] == 1  # one engine run for both
+        for job_id in (first, second):
+            view = manager.describe(job_id)
+            assert view["state"] == "done"
+            assert view["cells"][0]["status"] == "done"
+        manager.stop()
+
+    def test_empty_submission_rejected(self, tmp_path):
+        manager = JobManager(str(tmp_path / "s.sqlite"))
+        with pytest.raises(ValueError, match="at least one spec"):
+            manager.submit([])
+        manager.stop()
+
+    def test_failed_cells_fail_the_job_and_are_retryable(self, tmp_path):
+        manager = JobManager(str(tmp_path / "s.sqlite"))
+        manager.start()
+        # cap-bp without a period raises inside the engine run.
+        bad = RunSpec.from_dict(spec_dict(controller="cap-bp"))
+        job_id = manager.submit([bad])
+        assert manager.wait(job_id, timeout=60)
+        view = manager.describe(job_id)
+        assert view["state"] == "failed"
+        assert view["cells"][0]["status"] == "failed"
+        assert view["cells"][0]["error"]
+        events = [e["event"] for e in manager.events_since(job_id, 0)[0]]
+        assert "cell_failed" in events
+        # A resubmission owns a fresh cell (does not inherit the error).
+        retry = manager.submit([bad])
+        assert manager.describe(retry)["counts"]["shared"] == 0
+        manager.stop()
+
+    def test_event_sequence_for_one_job(self, tmp_path):
+        manager = JobManager(str(tmp_path / "s.sqlite"))
+        manager.start()
+        job_id = manager.submit([RunSpec.from_dict(SPEC)])
+        assert manager.wait(job_id, timeout=60)
+        events, terminal = manager.events_since(job_id, 0)
+        assert terminal
+        assert [e["event"] for e in events] == [
+            "job_queued", "job_started", "cell_completed", "job_completed",
+        ]
+        assert [e["seq"] for e in events] == [0, 1, 2, 3]
+        assert events[2]["source"] == "executed"
+        manager.stop()
+
+    def test_wait_times_out_before_start(self, tmp_path):
+        manager = JobManager(str(tmp_path / "s.sqlite"))
+        job_id = manager.submit([RunSpec.from_dict(SPEC)])
+        assert manager.wait(job_id, timeout=0.05) is False  # worker not started
+        manager.stop()
+
+
+class TestServiceEndpoints:
+    def test_healthz_and_envelope(self, service):
+        view = service.client.health()
+        assert view["status"] == "ok"
+        assert view["api_version"] == API_VERSION
+        assert view["request_id"].startswith("req-")
+        assert view["journal_mode"] == "wal"
+
+    def test_incoming_request_id_is_honoured(self, service):
+        url = f"{service.client.base_url}/healthz"
+        request = urllib.request.Request(
+            url, headers={"X-Request-Id": "req-custom-1"}
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.headers["X-Request-Id"] == "req-custom-1"
+            assert json.load(response)["request_id"] == "req-custom-1"
+
+    def test_unknown_path_and_method(self, service):
+        with pytest.raises(ServiceError) as error:
+            service.client._request("GET", "/nope")
+        assert error.value.status == 404
+        with pytest.raises(ServiceError) as error:
+            service.client._request("POST", "/healthz")
+        assert error.value.status == 405
+
+    def test_submission_body_validated(self, service):
+        for body in ({}, {"spec": SPEC, "grid": {}}, {"specs": []}):
+            with pytest.raises(ServiceError) as error:
+                service.client.submit(body)
+            assert error.value.status == 400
+        with pytest.raises(ServiceError) as error:
+            service.client.submit_spec(spec_dict(pattern="no-such"))
+        assert error.value.status == 400
+        assert "no-such" in error.value.message
+
+    def test_submit_poll_results_roundtrip(self, service):
+        job = service.client.submit_spec(SPEC)["job"]
+        assert job["state"] in ("queued", "running", "done")
+        done = service.client.job(job["job_id"], wait=60)["job"]
+        assert done["state"] == "done"
+        assert done["counts"] == {
+            "total": 1, "done": 1, "failed": 0, "pending": 0,
+            "from_store": 0, "executed": 1, "shared": 0,
+        }
+        results = service.client.job_results(job["job_id"])["results"]
+        assert len(results) == 1
+        assert results[0]["source"] == "executed"
+        assert results[0]["summary"]["vehicles_entered"] > 0
+        assert "result" not in results[0]
+        full = service.client.job_results(job["job_id"], full=True)
+        assert "summary" in full["results"][0]["result"]
+
+    def test_event_stream_is_ndjson(self, service):
+        job = service.client.submit_spec(SPEC)["job"]
+        service.client.job(job["job_id"], wait=60)
+        events = list(service.client.iter_events(job["job_id"], follow=False))
+        assert [e["event"] for e in events] == [
+            "job_queued", "job_started", "cell_completed", "job_completed",
+        ]
+
+    def test_follow_stream_ends_at_terminal_job(self, service):
+        job = service.client.submit_spec(SPEC)["job"]
+        # follow=True blocks until the job completes, then closes.
+        events = list(service.client.iter_events(job["job_id"], follow=True))
+        assert events[-1]["event"] == "job_completed"
+
+    def test_grid_submission_expands_cells(self, service):
+        grid = {
+            "scenarios": ["steady-4x4"],
+            "controllers": ["util-bp", ["cap-bp", {"period": 16}]],
+            "seeds": [1, 2],
+            "engines": ["meso"],
+            "durations": [40.0],
+        }
+        job = service.client.submit_grid(grid)["job"]
+        done = service.client.job(job["job_id"], wait=120)["job"]
+        assert done["state"] == "done"
+        assert done["counts"]["total"] == 4
+        assert done["counts"]["done"] == 4
+
+    def test_query_and_aggregate_served_from_store(self, service):
+        job = service.client.submit_spec(SPEC)["job"]
+        service.client.job(job["job_id"], wait=60)
+        rows = service.client.query(controller="util-bp")
+        assert rows["total"] == 1
+        assert rows["rows"][0]["pattern"] == "steady-4x4"
+        assert rows["rows"][0]["summary"]["vehicles_entered"] > 0
+        empty = service.client.query(controller="fixed-time")
+        assert empty["total"] == 0
+        agg = service.client.aggregate(by="pattern,controller")
+        assert agg["cells"] == 1
+        assert len(agg["rows"]) == 1
+        with pytest.raises(ServiceError) as error:
+            service.client.aggregate(by="nonsense")
+        assert error.value.status == 400
+
+    def test_result_by_hash_prefix(self, service):
+        job = service.client.submit_spec(SPEC)["job"]
+        service.client.job(job["job_id"], wait=60)
+        results = service.client.job_results(job["job_id"])["results"]
+        spec_hash = results[0]["spec_hash"]
+        view = service.client.result(spec_hash[:12])
+        assert view["spec_hash"] == spec_hash
+        assert view["spec"]["pattern"] == "steady-4x4"
+        with pytest.raises(ServiceError) as error:
+            service.client.result("ffffffffffff")
+        assert error.value.status == 404
+
+    def test_unknown_job_is_404(self, service):
+        with pytest.raises(ServiceError) as error:
+            service.client.job("job-999999")
+        assert error.value.status == 404
+
+
+class TestEndToEndContract:
+    """The acceptance criteria of the service tentpole."""
+
+    def test_concurrent_identical_submissions_execute_once(self, service):
+        """Two clients racing the same RunSpec share one computation."""
+        outcomes = {}
+        barrier = threading.Barrier(2)
+
+        def submit(name):
+            client = ServiceClient(service.client.base_url)
+            barrier.wait()
+            job = client.submit_spec(SPEC)["job"]
+            done = client.job(job["job_id"], wait=60)["job"]
+            outcomes[name] = (
+                done,
+                client.job_results(job["job_id"])["results"],
+            )
+
+        threads = [
+            threading.Thread(target=submit, args=(name,))
+            for name in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(90)
+        assert set(outcomes) == {"a", "b"}
+        # PoolStats: exactly one engine execution for both clients.
+        stats = service.client.health()["stats"]
+        assert stats["executed"] == 1
+        assert stats["cells"] == 1
+        # Both received the same spec-hash-keyed result.
+        (job_a, results_a), (job_b, results_b) = (
+            outcomes["a"], outcomes["b"],
+        )
+        assert job_a["state"] == job_b["state"] == "done"
+        assert results_a[0]["spec_hash"] == results_b[0]["spec_hash"]
+        assert results_a[0]["summary"] == results_b[0]["summary"]
+        # Exactly one of the two jobs owned the cell.
+        shares = sorted(
+            (job_a["counts"]["shared"], job_b["counts"]["shared"])
+        )
+        assert shares == [0, 1]
+
+    def test_restart_serves_from_store_without_recompute(self, tmp_path):
+        store_path = tmp_path / "service.sqlite"
+        first = RunningService(store_path)
+        try:
+            job = first.client.submit_spec(SPEC)["job"]
+            done = first.client.job(job["job_id"], wait=60)["job"]
+            assert done["counts"]["executed"] == 1
+        finally:
+            first.stop()
+
+        second = RunningService(store_path)
+        try:
+            job = second.client.submit_spec(SPEC)["job"]
+            done = second.client.job(job["job_id"], wait=60)["job"]
+            assert done["state"] == "done"
+            assert done["counts"]["from_store"] == 1
+            assert done["counts"]["executed"] == 0
+            stats = second.client.health()["stats"]
+            assert stats["executed"] == 0
+            assert stats["cache_hits"] == 1
+            results = second.client.job_results(job["job_id"])["results"]
+            assert results[0]["source"] == "store"
+        finally:
+            second.stop()
+
+    def test_all_log_lines_are_json_with_request_ids(self, tmp_path):
+        stream = io.StringIO()
+        configure(stream=stream)
+        try:
+            service = RunningService(tmp_path / "service.sqlite")
+            try:
+                job = service.client.submit_spec(SPEC)["job"]
+                service.client.job(job["job_id"], wait=60)
+                service.client.query(controller="util-bp")
+            finally:
+                service.stop()
+        finally:
+            configure(stream=None)
+        records = [
+            json.loads(line) for line in stream.getvalue().splitlines()
+        ]
+        assert records, "service produced no log lines"
+        for record in records:
+            assert {"ts", "level", "component", "event"} <= set(record)
+        request_scoped = [
+            r for r in records
+            if r["event"].startswith(("request_", "job_", "cell_"))
+            and r["event"] != "job_submitted_legacy"
+        ]
+        assert request_scoped
+        for record in request_scoped:
+            assert str(record.get("request_id", "")).startswith("req-"), (
+                f"log line lacks a request id: {record}"
+            )

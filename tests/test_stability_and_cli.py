@@ -203,3 +203,75 @@ class TestScenariosCli:
         out = capsys.readouterr().out
         assert "Sweep — 1 cells" in out
         assert "executed 1" in out
+
+
+class TestCliStoreOptions:
+    """--store is canonical; --cache-dir is a deprecated alias."""
+
+    def _sweep(self, *extra):
+        return [
+            "sweep", "--patterns", "I", "--controllers", "util-bp",
+            "--duration", "60", *extra,
+        ]
+
+    def test_store_flag_is_canonical(self, tmp_path, capsys):
+        import warnings
+
+        store = tmp_path / "cells.sqlite"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert main(self._sweep("--store", str(store))) == 0
+        assert store.is_file()
+        capsys.readouterr()
+        assert main(self._sweep("--store", str(store))) == 0
+        assert "cache hits 1" in capsys.readouterr().out
+
+    def test_cache_dir_warns_and_still_works(self, tmp_path, capsys):
+        import warnings
+
+        with pytest.warns(DeprecationWarning, match="--cache-dir"):
+            assert main(self._sweep("--cache-dir", str(tmp_path))) == 0
+        assert (tmp_path / "results.sqlite").is_file()
+        capsys.readouterr()
+        # The alias resolves to the same store file as --store.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            code = main(
+                self._sweep("--store", str(tmp_path / "results.sqlite"))
+            )
+        assert code == 0
+        assert "cache hits 1" in capsys.readouterr().out
+
+    def test_serve_and_submit_commands_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--store", "s.sqlite", "--port", "0"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        args = parser.parse_args(
+            [
+                "submit", "--url", "http://127.0.0.1:9", "--scenario",
+                "steady-4x4", "--wait", "5",
+            ]
+        )
+        assert args.command == "submit"
+        assert args.wait == 5.0
+        args = parser.parse_args(["jobs", "job-000001", "--events"])
+        assert args.command == "jobs"
+        assert args.events
+
+    def test_submit_unreachable_service_fails_cleanly(self, capsys):
+        code = main(
+            [
+                "submit", "--url", "http://127.0.0.1:9",
+                "--scenario", "steady-4x4",
+            ]
+        )
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_jobs_unreachable_service_fails_cleanly(self, capsys):
+        code = main(["jobs", "--url", "http://127.0.0.1:9"])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err

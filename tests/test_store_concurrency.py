@@ -1,0 +1,147 @@
+"""Concurrent store access: one WAL writer, many read-only readers."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.orchestration import RunSpec
+from repro.results import ResultStore
+from repro.scenarios.core import build_scenario
+
+QUICK = dict(pattern="I", controller="util-bp", engine="meso", duration=60.0)
+
+
+def result_for(seed: int):
+    return run_scenario(
+        build_scenario("I", seed=seed),
+        controller="util-bp",
+        duration=60.0,
+        engine="meso",
+    )
+
+
+class TestReadOnlyStore:
+    def test_reader_sees_committed_rows(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        spec = RunSpec(**QUICK)
+        result = result_for(1)
+        writer = ResultStore(path)
+        writer.put(spec, result)
+        reader = ResultStore.reader(path)
+        assert reader.journal_mode == "wal"
+        assert reader.get(spec) == result
+        reader.close()
+        writer.close()
+
+    def test_reader_rejects_writes(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        ResultStore(path).close()
+        reader = ResultStore.reader(path)
+        with pytest.raises(ValueError, match="read-only"):
+            reader.put(RunSpec(**QUICK), result_for(1))
+        reader.close()
+
+    def test_reader_requires_existing_store(self, tmp_path):
+        with pytest.raises((ValueError, Exception)):
+            ResultStore.reader(tmp_path / "never-created.sqlite")
+
+    def test_memory_store_cannot_be_read_only(self):
+        with pytest.raises(ValueError, match="memory"):
+            ResultStore(":memory:", read_only=True)
+
+
+class TestOneWriterManyReaders:
+    def test_readers_see_committed_rows_never_torn(self, tmp_path):
+        """Reader threads racing the writer observe only whole rows.
+
+        The writer commits one row per seed while reader threads
+        continuously re-query through their own read-only connections.
+        Every row a reader observes must decode to the exact result the
+        writer stored for that seed (a torn or dirty payload would fail
+        JSON decoding or the equality check), and the row count must
+        only ever grow.
+        """
+        path = tmp_path / "s.sqlite"
+        ResultStore(path).close()  # create schema before readers open
+
+        seeds = list(range(1, 6))
+        expected = {}  # seed -> summary dict, filled before each commit
+        expected_lock = threading.Lock()
+        stop = threading.Event()
+        failures = []
+
+        def reader_loop():
+            try:
+                while not stop.is_set():
+                    reader = ResultStore.reader(path)
+                    records = reader.records()
+                    reader.close()
+                    with expected_lock:
+                        known = dict(expected)
+                    seen = set()
+                    for record in records:
+                        seed = record.spec.seed
+                        assert seed not in seen, "duplicate row for a seed"
+                        seen.add(seed)
+                        assert seed in known, (
+                            f"reader saw seed {seed} before its commit "
+                            f"was published"
+                        )
+                        assert (
+                            record.result.summary.to_dict() == known[seed]
+                        ), f"torn/mismatched payload for seed {seed}"
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                failures.append(error)
+
+        readers = [
+            threading.Thread(target=reader_loop, daemon=True)
+            for _ in range(4)
+        ]
+        for thread in readers:
+            thread.start()
+
+        writer = ResultStore(path)
+        counts = []
+        for seed in seeds:
+            result = result_for(seed)
+            with expected_lock:
+                expected[seed] = result.summary.to_dict()
+            writer.put(RunSpec(**{**QUICK, "seed": seed}), result)
+            counts.append(len(writer))
+        writer.close()
+
+        stop.set()
+        for thread in readers:
+            thread.join(30)
+        if failures:
+            raise failures[0]
+        assert counts == list(range(1, len(seeds) + 1))
+
+        final = ResultStore.reader(path)
+        assert len(final.records()) == len(seeds)
+        final.close()
+
+    def test_reader_snapshot_is_stable_while_writer_commits(self, tmp_path):
+        """A read-only connection holds a consistent WAL snapshot."""
+        path = tmp_path / "s.sqlite"
+        writer = ResultStore(path)
+        writer.put(RunSpec(**QUICK), result_for(1))
+
+        reader = ResultStore.reader(path)
+        before = reader.records()
+        writer.put(RunSpec(**{**QUICK, "seed": 2}), result_for(2))
+        # The open reader may or may not see the new row depending on
+        # its transaction state, but it must never see a partial one.
+        after = reader.records()
+        assert len(after) in (len(before), len(before) + 1)
+        for record in after:
+            record.result.summary.to_dict()  # decodes cleanly
+        reader.close()
+
+        fresh = ResultStore.reader(path)
+        assert len(fresh.records()) == 2  # a new reader sees both commits
+        fresh.close()
+        writer.close()

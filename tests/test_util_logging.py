@@ -1,0 +1,117 @@
+"""Structured JSON-lines logging (repro.util.logging)."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.util.logging import (
+    LEVELS,
+    configure,
+    context_fields,
+    get_logger,
+    log_context,
+)
+
+
+@pytest.fixture(autouse=True)
+def reset_logging():
+    """Every test starts from the default (stderr, info) configuration."""
+    yield
+    configure(stream=None, level="info")
+
+
+def capture():
+    stream = io.StringIO()
+    configure(stream=stream)
+    return stream
+
+
+def lines(stream: io.StringIO):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestStructuredLogger:
+    def test_lines_are_json_with_standard_fields(self):
+        stream = capture()
+        get_logger("t").info("thing_happened", message="hi", n=3)
+        (record,) = lines(stream)
+        assert record["level"] == "info"
+        assert record["component"] == "t"
+        assert record["event"] == "thing_happened"
+        assert record["message"] == "hi"
+        assert record["n"] == 3
+        assert isinstance(record["ts"], float)
+
+    def test_level_threshold_filters(self):
+        stream = capture()
+        configure(stream=stream, level="warning")
+        log = get_logger("t")
+        log.debug("d")
+        log.info("i")
+        log.warning("w")
+        log.error("e")
+        assert [r["level"] for r in lines(stream)] == ["warning", "error"]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure(level="loud")
+        assert "info" in LEVELS
+
+    def test_context_fields_appear_on_every_line(self):
+        stream = capture()
+        log = get_logger("t")
+        with log_context(request_id="req-1", job_id="job-9"):
+            log.info("inside")
+            assert context_fields() == {
+                "request_id": "req-1",
+                "job_id": "job-9",
+            }
+        log.info("outside")
+        inside, outside = lines(stream)
+        assert inside["request_id"] == "req-1"
+        assert inside["job_id"] == "job-9"
+        assert "request_id" not in outside
+        assert context_fields() == {}
+
+    def test_contexts_nest_and_restore(self):
+        stream = capture()
+        log = get_logger("t")
+        with log_context(request_id="outer"):
+            with log_context(job_id="j"):
+                log.info("deep")
+            log.info("shallow")
+        deep, shallow = lines(stream)
+        assert deep["request_id"] == "outer" and deep["job_id"] == "j"
+        assert shallow["request_id"] == "outer"
+        assert "job_id" not in shallow
+
+    def test_context_is_thread_local(self):
+        stream = capture()
+        log = get_logger("t")
+        seen = {}
+
+        def worker():
+            seen["fields"] = dict(context_fields())
+            log.info("from_thread")
+
+        with log_context(request_id="main-only"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["fields"] == {}  # context does not leak across threads
+        (record,) = lines(stream)
+        assert "request_id" not in record
+
+    def test_get_logger_caches_by_component(self):
+        assert get_logger("same") is get_logger("same")
+        assert get_logger("same") is not get_logger("other")
+
+    def test_non_json_safe_fields_are_stringified(self):
+        stream = capture()
+        get_logger("t").info("odd", payload={1, 2})
+        (record,) = lines(stream)  # the line itself must stay valid JSON
+        assert "payload" in record
