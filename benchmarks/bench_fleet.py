@@ -1,0 +1,79 @@
+"""Fleet execution vs one pool: wall clock and result equivalence.
+
+Runs the same independent-cell grid twice — once through a single
+:class:`~repro.orchestration.ExperimentPool` and once through
+:func:`~repro.orchestration.run_fleet` with two shard subprocesses —
+and reports cells/second for both.  On multi-core hosts the fleet run
+should approach ``min(shards, cores)``-fold throughput, because each
+shard owns its interpreter, its worker pool *and* its store file (no
+shared SQLite writer); on a single core it shows the spawn + merge
+overhead the scale-out pays for nothing, which is worth knowing too.
+
+The merged fleet store must export byte-identically to the
+single-pool store — asserted here, so this benchmark doubles as the
+fleet-correctness gate at benchmark scale.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fleet.py \
+        --benchmark-only -q
+"""
+
+import pytest
+
+from repro.orchestration import ExperimentPool, SweepGrid, run_fleet
+from repro.results import ResultStore
+
+#: 8 independent cells, long enough that per-shard spawn cost (two
+#: fresh interpreters importing the package) amortizes.
+GRID = SweepGrid(
+    patterns=("I", "II", "III", "IV"),
+    controllers=["util-bp", ("cap-bp", {"period": 18.0})],
+    durations=(900.0,),
+)
+
+FLEET_SHARDS = 2
+
+
+@pytest.fixture(scope="module")
+def reference_export(tmp_path_factory):
+    """Export of the single-pool run (also the correctness reference)."""
+    store = ResultStore(
+        tmp_path_factory.mktemp("fleet-ref") / "serial.sqlite"
+    )
+    ExperimentPool(store=store).run(GRID.specs())
+    return store.export_rows()
+
+
+@pytest.mark.benchmark(group="fleet", warmup=False)
+def test_single_pool(benchmark, tmp_path):
+    def run():
+        store = tmp_path / "pool.sqlite"
+        store.unlink(missing_ok=True)
+        pool = ExperimentPool(store=store)
+        pool.run(GRID.specs())
+        return pool.stats.executed
+
+    executed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert executed == len(GRID)
+    benchmark.extra_info["cells_per_second"] = round(
+        len(GRID) / benchmark.stats["mean"], 3
+    )
+
+
+@pytest.mark.benchmark(group="fleet", warmup=False)
+def test_fleet_two_shards(benchmark, tmp_path, reference_export):
+    def run():
+        store = tmp_path / "fleet.sqlite"
+        store.unlink(missing_ok=True)
+        return run_fleet(GRID, FLEET_SHARDS, store)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.executed == len(GRID)
+    assert report.merged_rows == len(GRID)
+    benchmark.extra_info["cells_per_second"] = round(
+        len(GRID) / benchmark.stats["mean"], 3
+    )
+    # Fleet execution must leave no trace in the results.
+    merged = ResultStore(tmp_path / "fleet.sqlite")
+    assert merged.export_rows() == reference_export

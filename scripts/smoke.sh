@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Pre-merge smoke gate: lint, tier-1 tests, the scenario catalog and a
-# 2-worker mini-sweep.
+# Pre-merge smoke gate: lint, tier-1 tests, the scenario catalog, a
+# 2-worker mini-sweep, a sharded sweep + merge (and fleet run) that
+# must export byte-identically to the unsharded run, and the service.
 #
 # Usage: bash scripts/smoke.sh
 #
@@ -89,6 +90,44 @@ echo
 echo "== result store inspection =="
 "$PYTHON" -m repro results list --store "$STORE"
 "$PYTHON" -m repro results export --store "$STORE" --format csv | head -n 3
+
+echo
+echo "== sharded sweep (2 shards + merge == unsharded run, bit for bit) =="
+# The same 4-cell grid runs three ways: unsharded into one store, as
+# two deterministic --shard halves merged by spec hash, and as a
+# --fleet run (shard subprocesses + auto-merge).  All three stores
+# must export byte-identically — execution strategy must leave no
+# trace in the results — and a resume against the merged store must
+# compute nothing.
+SHARD_ARGS=(--patterns I --controllers util-bp --seeds 1 2 3 4 --duration 120)
+"$PYTHON" -m repro sweep "${SHARD_ARGS[@]}" --store "$CACHE_DIR/whole.sqlite"
+"$PYTHON" -m repro sweep "${SHARD_ARGS[@]}" --shard 0/2 \
+    --store "$CACHE_DIR/shard-0.sqlite"
+"$PYTHON" -m repro sweep "${SHARD_ARGS[@]}" --shard 1/2 \
+    --store "$CACHE_DIR/shard-1.sqlite"
+"$PYTHON" -m repro results merge "$CACHE_DIR/sharded.sqlite" \
+    "$CACHE_DIR/shard-0.sqlite" "$CACHE_DIR/shard-1.sqlite"
+"$PYTHON" -m repro results export --store "$CACHE_DIR/whole.sqlite" \
+    --format csv > "$CACHE_DIR/whole.csv"
+"$PYTHON" -m repro results export --store "$CACHE_DIR/sharded.sqlite" \
+    --format csv > "$CACHE_DIR/sharded.csv"
+cmp "$CACHE_DIR/whole.csv" "$CACHE_DIR/sharded.csv" \
+    || { echo "smoke FAILED: sharded+merged export differs from the unsharded run"; exit 1; }
+RESUME=$("$PYTHON" -m repro sweep "${SHARD_ARGS[@]}" \
+    --store "$CACHE_DIR/sharded.sqlite")
+echo "$RESUME"
+echo "$RESUME" | grep -q "executed 0," \
+    || { echo "smoke FAILED: resume after merge re-executed cells"; exit 1; }
+
+FLEET=$("$PYTHON" -m repro sweep "${SHARD_ARGS[@]}" --fleet 2 \
+    --store "$CACHE_DIR/fleet.sqlite" 2>/dev/null)
+echo "$FLEET"
+echo "$FLEET" | grep -q "fleet: 2 shards" \
+    || { echo "smoke FAILED: fleet sweep did not report its shards"; exit 1; }
+"$PYTHON" -m repro results export --store "$CACHE_DIR/fleet.sqlite" \
+    --format csv > "$CACHE_DIR/fleet.csv"
+cmp "$CACHE_DIR/whole.csv" "$CACHE_DIR/fleet.csv" \
+    || { echo "smoke FAILED: fleet-run export differs from the unsharded run"; exit 1; }
 
 echo
 echo "== batched meso-vec sweep (seed fan-out through the pool) =="

@@ -24,9 +24,12 @@ Layout of the surface:
 * running — :class:`RunConfig`, :class:`RunResult`,
   :func:`run_scenario`, :func:`run_scenario_batch`;
 * specs & sweeps — :class:`RunSpec`, :class:`BatchRunSpec`,
-  :class:`SweepGrid`, :data:`SPEC_SCHEMA_VERSION`;
-* orchestration — :class:`ExperimentPool`, :class:`PoolStats`;
+  :class:`SweepGrid`, :data:`SPEC_SCHEMA_VERSION`,
+  :func:`parse_shard`, :func:`shard_index_of`;
+* orchestration — :class:`ExperimentPool`, :class:`PoolStats`,
+  :func:`run_fleet`, :class:`FleetReport`, :class:`ShardOutcome`;
 * results — :class:`ResultStore`, :class:`StoredRecord`,
+  :class:`MergeStats`, :class:`MergeError`,
   :func:`aggregate`, :func:`tidy_table`, :class:`MetricStats`;
 * service — :func:`serve`, :func:`create_app`,
   :class:`ServiceClient` (imported lazily so ``repro.api`` stays
@@ -46,15 +49,23 @@ from repro.experiments.runner import (
     run_scenario,
     run_scenario_batch,
 )
+from repro.orchestration.fleet import FleetReport, ShardOutcome, run_fleet
 from repro.orchestration.pool import ExperimentPool, PoolStats
 from repro.orchestration.spec import (
     SPEC_SCHEMA_VERSION,
     BatchRunSpec,
     RunSpec,
     SweepGrid,
+    parse_shard,
+    shard_index_of,
 )
 from repro.results.aggregate import MetricStats, aggregate, tidy_table
-from repro.results.store import ResultStore, StoredRecord
+from repro.results.store import (
+    MergeError,
+    MergeStats,
+    ResultStore,
+    StoredRecord,
+)
 from repro.scenarios import (
     Scenario,
     build_named_scenario,
@@ -66,7 +77,7 @@ from repro.util.logging import get_logger, log_context
 
 #: The public API schema version (``major.minor``); embedded in every
 #: service response envelope as ``api_version``.
-API_VERSION = "1.0"
+API_VERSION = "1.1"
 
 __all__ = [
     "API_VERSION",
@@ -85,12 +96,19 @@ __all__ = [
     "BatchRunSpec",
     "SweepGrid",
     "SPEC_SCHEMA_VERSION",
+    "parse_shard",
+    "shard_index_of",
     # orchestration
     "ExperimentPool",
     "PoolStats",
+    "run_fleet",
+    "FleetReport",
+    "ShardOutcome",
     # results
     "ResultStore",
     "StoredRecord",
+    "MergeStats",
+    "MergeError",
     "aggregate",
     "tidy_table",
     "MetricStats",

@@ -4,7 +4,10 @@ Commands
 --------
 run        one scenario under one controller, print the summary
 sweep      run a (workload x controller x seed) grid on the worker pool
-results    inspect a result store (list / show / export)
+           (--shard i/N runs one deterministic grid shard; --fleet N
+           runs all N shards as subprocesses with per-shard stores and
+           merges them into --store)
+results    inspect a result store (list / show / export / merge)
 scenarios  list/inspect the scenario catalog (repro.scenarios)
 serve      run the simulation service (HTTP submission/query server)
 submit     submit specs/grids to a running service
@@ -118,6 +121,17 @@ def _parse_scenario_token(token: str) -> str:
     return token
 
 
+def _parse_shard_token(token: str) -> str:
+    """Validate an INDEX/COUNT shard designator (kept as its text form)."""
+    from repro.orchestration.spec import parse_shard
+
+    try:
+        parse_shard(token)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+    return token
+
+
 def _parse_controller_token(token: str) -> tuple:
     """Parse ``name`` or ``name:key=val,key=val`` into ``(name, params)``."""
     name, _, params_text = token.partition(":")
@@ -196,6 +210,26 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.add_argument("--duration", type=float, default=1800.0)
+    scale_out = sweep.add_mutually_exclusive_group()
+    scale_out.add_argument(
+        "--shard", type=_parse_shard_token, default=None, metavar="I/N",
+        help=(
+            "run only the I-th of N deterministic grid shards "
+            "(zero-based, e.g. 0/4): the spec-content-hash partition is "
+            "identical on every host, so N hosts running 0/N..N-1/N "
+            "against their own stores cover the grid exactly once; "
+            "merge the stores with 'repro results merge'"
+        ),
+    )
+    scale_out.add_argument(
+        "--fleet", type=int, default=None, metavar="N",
+        help=(
+            "local fleet execution: split the grid into N shards, run "
+            "each in its own subprocess against its own store file "
+            "(--workers processes per shard), then merge everything "
+            "into --store (required) and print the table from it"
+        ),
+    )
     sweep.add_argument(
         "--aggregate", nargs="?", const="pattern,controller,engine",
         default=None, metavar="AXES",
@@ -229,6 +263,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     show.add_argument("hash_prefix", help="spec-hash prefix (repro results list/export shows hashes)")
     _add_store_argument(show)
+    merge = results_sub.add_parser(
+        "merge",
+        help=(
+            "merge shard stores into OUT by spec hash (idempotent; "
+            "divergent payloads error unless --prefer says otherwise)"
+        ),
+    )
+    merge.add_argument(
+        "output", metavar="OUT",
+        help="destination store file (created if missing)",
+    )
+    merge.add_argument(
+        "inputs", nargs="+", metavar="IN",
+        help="source store files (e.g. per-shard stores of a fleet run)",
+    )
+    merge.add_argument(
+        "--prefer", choices=("ours", "theirs"), default=None,
+        help=(
+            "conflict policy for hashes whose payloads diverge: keep "
+            "the destination row (ours) or take the source row "
+            "(theirs); without this flag a divergent payload aborts "
+            "the merge"
+        ),
+    )
     export = results_sub.add_parser(
         "export", help="dump tidy per-cell rows as CSV or JSON"
     )
@@ -314,6 +372,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--duration", type=float, default=1800.0)
     submit.add_argument(
+        "--shard", type=_parse_shard_token, default=None, metavar="I/N",
+        help=(
+            "submit only the I-th of N deterministic grid shards "
+            "(zero-based); the service expands the same spec-hash "
+            "partition 'repro sweep --shard' uses"
+        ),
+    )
+    submit.add_argument(
         "--wait", type=float, default=None, metavar="SECONDS",
         help="block until the job is terminal (polling the service)",
     )
@@ -391,7 +457,50 @@ def _run_sweep(args: argparse.Namespace) -> int:
         engines=tuple(args.engine),
         durations=(args.duration,),
     )
-    specs = grid.specs()
+
+    fleet_report = None
+    if args.fleet is not None:
+        if args.fleet < 1:
+            print(
+                f"repro sweep: --fleet must be >= 1, got {args.fleet}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.store is None:
+            print(
+                "repro sweep: --fleet needs --store FILE (the canonical "
+                "store the shard stores are merged into)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.orchestration import run_fleet
+
+        fleet_report = run_fleet(
+            grid,
+            args.fleet,
+            args.store,
+            workers_per_shard=args.workers,
+            batch_size=args.batch_size,
+        )
+        # Fall through to the ordinary pool path below: every cell is
+        # now in the merged store, so the table prints from pure cache
+        # hits — which doubles as an end-to-end completeness check.
+
+    shard_suffix = ""
+    if args.shard is not None:
+        from repro.orchestration.spec import parse_shard
+
+        index, count = parse_shard(args.shard)
+        specs = grid.shard(index, count)
+        shard_suffix = f" (shard {index}/{count} of {len(grid)} cells)"
+        if not specs:
+            print(
+                f"shard {index}/{count} of this {len(grid)}-cell grid is "
+                f"empty; nothing to run"
+            )
+            return 0
+    else:
+        specs = grid.specs()
     pool = _make_pool(args)
     results = pool.run(specs)
     rows = [
@@ -421,7 +530,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
             ),
             rows,
             title=(
-                f"Sweep — {len(specs)} cells, engines "
+                f"Sweep — {len(specs)} cells{shard_suffix}, engines "
                 f"{','.join(args.engine)}, duration {args.duration:.0f} s"
             ),
         )
@@ -451,6 +560,19 @@ def _run_sweep(args: argparse.Namespace) -> int:
         f"executed {pool.stats.executed}, "
         f"cache hits {pool.stats.cache_hits}, workers {pool.workers}"
     )
+    if fleet_report is not None:
+        for shard in fleet_report.shards:
+            print(
+                f"  shard {shard.index}/{fleet_report.shard_count}: "
+                f"{shard.cells} cells, {shard.executed} executed, "
+                f"{shard.cache_hits} from store, {shard.duration_s:.1f} s"
+            )
+        print(
+            f"fleet: {fleet_report.shard_count} shards, "
+            f"{fleet_report.executed} executed, "
+            f"{fleet_report.merged_rows} rows merged into "
+            f"{fleet_report.store}, wall {fleet_report.wall_time_s:.1f} s"
+        )
     return 0
 
 
@@ -472,6 +594,35 @@ def _open_store(path: str):
 
 def _run_results(args: argparse.Namespace) -> int:
     from repro.util.tables import render_table
+
+    if args.results_command == "merge":
+        import sqlite3
+
+        from repro.results import MergeError, MergeStats, ResultStore
+
+        totals = MergeStats()
+        try:
+            with ResultStore(args.output) as destination:
+                for source in args.inputs:
+                    stats = destination.merge_from(
+                        source, prefer=args.prefer
+                    )
+                    totals.merge(stats)
+                    print(
+                        f"{source}: {stats.inserted} inserted, "
+                        f"{stats.identical} identical, "
+                        f"{stats.conflicts} conflicts"
+                    )
+                rows = len(destination)
+        except (MergeError, ValueError, sqlite3.DatabaseError) as error:
+            print(f"repro results merge: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"merged {len(args.inputs)} store(s) into {args.output}: "
+            f"{totals.inserted} inserted, {totals.identical} identical, "
+            f"{totals.conflicts} conflicts — {rows} rows total"
+        )
+        return 0
 
     store = _open_store(args.store)
     if store is None:
@@ -645,6 +796,8 @@ def _run_submit(args: argparse.Namespace) -> int:
             durations=(args.duration,),
         )
         body = {"grid": grid.to_dict()}
+    if args.shard is not None:
+        body["shard"] = args.shard
     try:
         view = client.submit(body)
         job = view["job"]

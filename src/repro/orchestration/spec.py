@@ -45,6 +45,8 @@ __all__ = [
     "BatchRunSpec",
     "SweepGrid",
     "execute_spec",
+    "parse_shard",
+    "shard_index_of",
     "SPEC_SCHEMA_VERSION",
 ]
 
@@ -251,6 +253,49 @@ class RunSpec:
 def execute_spec(spec: RunSpec) -> RunResult:
     """Module-level alias of :meth:`RunSpec.execute` (picklable target)."""
     return spec.execute()
+
+
+def shard_index_of(spec: RunSpec, count: int) -> int:
+    """Which of ``count`` shards owns this spec.
+
+    The assignment hashes the spec's *content* (its
+    :meth:`RunSpec.spec_hash`), so it depends on nothing but the cell
+    itself and ``count``: not on the grid the spec came from, not on
+    axis ordering or expansion order, not on the process computing it
+    (sha256, unlike Python's salted ``hash()``).  Any two hosts that
+    agree on ``count`` therefore agree on the whole partition.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    # The leading 64 bits of the content hash are plenty for a balanced
+    # modulo; parsing the full 256-bit hex would cost 4x for nothing.
+    return int(spec.spec_hash()[:16], 16) % count
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse an ``INDEX/COUNT`` shard designator (``"0/4"`` ... ``"3/4"``).
+
+    Indices are zero-based: a fleet of ``N`` shards is ``0/N`` through
+    ``N-1/N``.  Raises ``ValueError`` on malformed text or an index
+    outside the count.
+    """
+    index_text, sep, count_text = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"malformed shard {text!r}; expected INDEX/COUNT, e.g. 0/4"
+        ) from None
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {text!r}")
+    if not 0 <= index < count:
+        raise ValueError(
+            f"shard index {index} out of range for count {count} "
+            f"(valid: 0..{count - 1})"
+        )
+    return index, count
 
 
 @dataclass(frozen=True)
@@ -531,3 +576,38 @@ class SweepGrid:
                 )
             )
         return tuple(out)
+
+    # -- sharding ------------------------------------------------------------
+
+    def shard(self, index: int, count: int) -> Tuple[RunSpec, ...]:
+        """The ``index``-th of ``count`` deterministic grid partitions.
+
+        Cells are assigned by :func:`shard_index_of` — the spec content
+        hash modulo ``count`` — which makes the partition:
+
+        * **disjoint and complete**: every cell lands in exactly one
+          shard, and the union of all ``count`` shards is exactly
+          :meth:`specs`;
+        * **stable**: independent of axis ordering, of the grid object
+          that expanded the cell, and of the process/host computing it,
+          so ``repro sweep --shard i/N`` invocations on different
+          machines never overlap and never miss a cell;
+        * **count-keyed**: changing ``count`` reshuffles the partition,
+          so a fleet must agree on one ``N`` for a sweep.
+
+        ``count`` may exceed the grid size; the surplus shards are
+        simply empty.  Within a shard, cells keep the grid's expansion
+        order.
+        """
+        if count < 1:
+            raise ValueError(f"shard count must be >= 1, got {count}")
+        if not 0 <= index < count:
+            raise ValueError(
+                f"shard index {index} out of range for count {count} "
+                f"(valid: 0..{count - 1})"
+            )
+        return tuple(
+            spec
+            for spec in self.specs()
+            if shard_index_of(spec, count) == index
+        )

@@ -52,11 +52,19 @@ from repro.results.experiment import (
     register_experiment,
     run_experiment,
 )
-from repro.results.store import STORE_FILENAME, ResultStore, StoredRecord
+from repro.results.store import (
+    STORE_FILENAME,
+    MergeError,
+    MergeStats,
+    ResultStore,
+    StoredRecord,
+)
 
 __all__ = [
     "ResultStore",
     "StoredRecord",
+    "MergeError",
+    "MergeStats",
     "STORE_FILENAME",
     "aggregate",
     "tidy_table",

@@ -61,8 +61,15 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
 
 from repro.experiments.runner import RunResult
 from repro.orchestration.spec import SPEC_SCHEMA_VERSION, RunSpec
+from repro.util.logging import get_logger
 
-__all__ = ["ResultStore", "StoredRecord", "STORE_FILENAME"]
+__all__ = [
+    "MergeError",
+    "MergeStats",
+    "ResultStore",
+    "StoredRecord",
+    "STORE_FILENAME",
+]
 
 #: Default store file name inside a cache directory.
 STORE_FILENAME = "results.sqlite"
@@ -101,6 +108,38 @@ CREATE TABLE IF NOT EXISTS store_meta (
 
 #: Sentinel distinguishing "filter on NULL duration" from "no filter".
 _UNSET = object()
+
+
+class MergeError(ValueError):
+    """A store merge that cannot proceed: schema drift or a divergent
+    payload under the default (strict) conflict policy."""
+
+
+@dataclass
+class MergeStats:
+    """Outcome of one :meth:`ResultStore.merge_from` call.
+
+    ``inserted`` rows were new to the destination; ``identical`` rows
+    already existed byte-for-byte (the idempotent re-merge case);
+    ``conflicts`` counts hashes whose payloads diverged and were
+    resolved by an explicit ``prefer`` policy (strict merges raise
+    before any such row is counted).
+    """
+
+    inserted: int = 0
+    identical: int = 0
+    conflicts: int = 0
+
+    @property
+    def total(self) -> int:
+        """Source rows considered (inserted + identical + conflicts)."""
+        return self.inserted + self.identical + self.conflicts
+
+    def merge(self, other: "MergeStats") -> None:
+        """Accumulate another merge's counters into this one."""
+        self.inserted += other.inserted
+        self.identical += other.identical
+        self.conflicts += other.conflicts
 
 
 @dataclass(frozen=True)
@@ -204,6 +243,11 @@ class ResultStore:
         return str(
             self._conn.execute("PRAGMA journal_mode").fetchone()[0]
         ).lower()
+
+    @property
+    def layout_version(self) -> int:
+        """The SQLite-schema layout version recorded in the meta table."""
+        return int(self._get_meta("layout_version") or 0)
 
     # -- core API -----------------------------------------------------------
 
@@ -357,6 +401,136 @@ class ResultStore:
             (SPEC_SCHEMA_VERSION,),
         ).fetchone()[0]
 
+    # -- merging (sharded sweeps) -------------------------------------------
+
+    #: The full results-row column list, in table order; merge copies
+    #: rows verbatim so merged stores are byte-identical to stores the
+    #: same cells were written into directly.
+    _ROW_COLUMNS = (
+        "spec_hash, spec_version, pattern, controller, engine, seed, "
+        "duration, scenario_name, delay_mode, average_queuing_time, "
+        "spec_json, result_json, created_at"
+    )
+
+    def merge_from(
+        self,
+        other: Union["ResultStore", str, os.PathLike],
+        prefer: Optional[str] = None,
+    ) -> MergeStats:
+        """Merge every row of ``other`` into this store, keyed by spec hash.
+
+        This is the fleet-execution join: shard sweeps write disjoint
+        cells into per-shard store files, and merging them into the
+        canonical store is pure bookkeeping because every row is an
+        immutable, per-put-committed (spec hash -> payload) fact.
+
+        Policy, per source row:
+
+        * hash absent here — **inserted** verbatim (spec/result JSON
+          and ``created_at`` are copied byte-for-byte, so a merged
+          store is indistinguishable from one the cells were written
+          into directly, and re-merging is idempotent);
+        * hash present with the identical spec and result JSON —
+          **skipped** (counted as ``identical``);
+        * hash present with a *divergent* payload — :class:`MergeError`
+          by default (two stores disagreeing about one deterministic
+          cell means a code or environment drift worth stopping for);
+          ``prefer="ours"`` keeps the destination row,
+          ``prefer="theirs"`` takes the source row;
+        * any source row written under a different
+          ``SPEC_SCHEMA_VERSION`` — :class:`MergeError` naming the row
+          and both versions (legacy or newer rows must be regenerated,
+          not silently dropped into a store that will never serve
+          them).
+
+        ``other`` may be a live :class:`ResultStore` or a path to one
+        (opened read-only for the duration).  Returns the
+        :class:`MergeStats` and logs a ``store_merged`` event.
+        """
+        if self.read_only:
+            raise ValueError(f"store {self.path} is open read-only")
+        if prefer not in (None, "ours", "theirs"):
+            raise ValueError(
+                f"prefer must be None, 'ours' or 'theirs', got {prefer!r}"
+            )
+        source = other
+        close_source = False
+        if not isinstance(source, ResultStore):
+            path = Path(source)
+            if not path.exists():
+                raise MergeError(f"no result store at {path}")
+            # Opening read-only also validates the layout version.
+            source = ResultStore.reader(path)
+            close_source = True
+        try:
+            try:
+                rows = source._conn.execute(
+                    f"SELECT {self._ROW_COLUMNS} FROM results "
+                    f"ORDER BY spec_hash"
+                ).fetchall()
+            except sqlite3.DatabaseError as error:
+                raise MergeError(
+                    f"{source.path} is not a readable result store: {error}"
+                ) from None
+            stats = MergeStats()
+            to_insert = []
+            for row in rows:
+                spec_hash, spec_version = row[0], row[1]
+                if spec_version != SPEC_SCHEMA_VERSION:
+                    raise MergeError(
+                        f"row {spec_hash[:16]}... in {source.path} was "
+                        f"written under spec schema version {spec_version}; "
+                        f"this code stores version {SPEC_SCHEMA_VERSION} — "
+                        f"regenerate the source store instead of merging "
+                        f"stale rows"
+                    )
+                mine = self._conn.execute(
+                    "SELECT spec_json, result_json FROM results "
+                    "WHERE spec_hash = ?",
+                    (spec_hash,),
+                ).fetchone()
+                if mine is None:
+                    to_insert.append(row)
+                    stats.inserted += 1
+                elif mine[0] == row[10] and mine[1] == row[11]:
+                    stats.identical += 1
+                else:
+                    if prefer is None:
+                        raise MergeError(
+                            f"divergent payload for spec {spec_hash[:16]}... "
+                            f"between {self.path} and {source.path}; the "
+                            f"cells of a deterministic sweep cannot "
+                            f"disagree unless code or environment drifted "
+                            f"— pass prefer='ours'/'theirs' to resolve "
+                            f"explicitly"
+                        )
+                    stats.conflicts += 1
+                    if prefer == "theirs":
+                        to_insert.append(row)
+            if to_insert:
+                # One transaction: merge is idempotent, so a crash
+                # mid-merge is safely re-run; per-row commits would
+                # only slow the fleet join down.
+                with self._conn:
+                    self._conn.executemany(
+                        "INSERT OR REPLACE INTO results VALUES "
+                        "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        to_insert,
+                    )
+            get_logger("store").info(
+                "store_merged",
+                source=str(source.path),
+                dest=str(self.path),
+                inserted=stats.inserted,
+                identical=stats.identical,
+                conflicts=stats.conflicts,
+                prefer=prefer,
+            )
+            return stats
+        finally:
+            if close_source:
+                source.close()
+
     def __iter__(self) -> Iterator[StoredRecord]:
         return iter(self.records())
 
@@ -396,12 +570,17 @@ class ResultStore:
         rows whose spec no longer constructs under this codebase.
         ``duration`` is the *spec axis* (empty = scenario default);
         the run's actual horizon is exported as ``horizon``.
+
+        Rows are ordered by spec hash — a pure function of the cells,
+        not of completion timing — so the export of a given cell set is
+        byte-identical however it was computed: serial, process
+        -parallel, or sharded across a fleet and merged.
         """
         rows = self._conn.execute(
             "SELECT spec_hash, pattern, controller, engine, seed, "
             "duration, scenario_name, spec_json, result_json "
             "FROM results WHERE spec_version = ? "
-            "ORDER BY created_at, spec_hash",
+            "ORDER BY spec_hash",
             (SPEC_SCHEMA_VERSION,),
         ).fetchall()
         out = []

@@ -19,9 +19,13 @@ GET       ``/results/{hash_prefix}``      one stored cell by hash prefix
 
 Submission body: ``{"spec": {...}}`` (one ``RunSpec.to_dict`` form),
 ``{"specs": [...]}`` or ``{"grid": {...}}`` (``SweepGrid.from_dict``
-form).  Identical cells are deduplicated across jobs and clients by
-spec content hash — the cell registry shares one computation — and
-cells already in the store are served without simulating.
+form).  A grid submission may add ``"shard": "i/N"`` (or ``[i, N]``)
+to submit only that deterministic shard of the grid — the same
+partition ``repro sweep --shard`` computes — so N clients can split
+one grid and the registry still deduplicates any overlap.  Identical
+cells are deduplicated across jobs and clients by spec content hash —
+the cell registry shares one computation — and cells already in the
+store are served without simulating.
 
 Concurrency contract: the job worker owns the single writable store
 connection; every query endpoint opens a fresh **read-only** SQLite
@@ -43,7 +47,12 @@ import sqlite3
 from typing import Any, Dict, List, Optional
 
 from repro.api import API_VERSION
-from repro.orchestration.spec import RunSpec, SweepGrid
+from repro.orchestration.spec import (
+    SPEC_SCHEMA_VERSION,
+    RunSpec,
+    SweepGrid,
+    parse_shard,
+)
 from repro.results.aggregate import AXES, DEFAULT_METRICS, aggregate
 from repro.results.store import ResultStore
 from repro.service.http import Handler, HttpError, HttpServer, Request, Response, Router
@@ -179,11 +188,22 @@ class ServiceApp:
     # -- handlers: service --------------------------------------------------
 
     async def healthz(self, request: Request) -> Response:
+        store_view: Dict[str, Any] = {
+            "path": self.store_path,
+            "rows": 0,
+            "layout_version": None,
+            "spec_schema_version": SPEC_SCHEMA_VERSION,
+        }
+        reader = self._reader()
+        if reader is not None:
+            with reader:
+                store_view["rows"] = len(reader)
+                store_view["layout_version"] = reader.layout_version
         return self._respond(
             request,
             {
                 "status": "ok",
-                "store": self.store_path,
+                "store": store_view,
                 "journal_mode": self.manager.journal_mode,
                 "stats": self.manager.stats(),
             },
@@ -196,7 +216,7 @@ class ServiceApp:
                 "endpoints": {
                     "GET /healthz": "liveness + cumulative stats",
                     "POST /jobs": "submit {'spec': ...} | {'specs': [...]} "
-                                  "| {'grid': ...}",
+                                  "| {'grid': ..., 'shard': 'i/N'?}",
                     "GET /jobs": "list jobs",
                     "GET /jobs/{job_id}": "poll one job (?wait=SECONDS)",
                     "GET /jobs/{job_id}/events": "NDJSON events (?follow=0)",
@@ -210,7 +230,25 @@ class ServiceApp:
 
     # -- handlers: jobs -----------------------------------------------------
 
-    def _parse_submission(self, payload: Any) -> List[RunSpec]:
+    @staticmethod
+    def _parse_shard_field(value: Any) -> "tuple[int, int]":
+        """``"i/N"`` or ``[i, N]`` → validated ``(index, count)``."""
+        if isinstance(value, str):
+            return parse_shard(value)
+        if (
+            isinstance(value, (list, tuple))
+            and len(value) == 2
+            and all(isinstance(item, int) for item in value)
+        ):
+            return parse_shard(f"{value[0]}/{value[1]}")
+        raise ValueError(
+            f"malformed shard {value!r}; expected 'INDEX/COUNT' or "
+            f"[index, count]"
+        )
+
+    def _parse_submission(
+        self, payload: Any
+    ) -> "tuple[List[RunSpec], Optional[tuple[int, int]]]":
         if not isinstance(payload, dict):
             raise HttpError(400, "submission body must be a JSON object")
         keys = [k for k in ("spec", "specs", "grid") if k in payload]
@@ -221,24 +259,40 @@ class ServiceApp:
                 "or 'grid'",
             )
         key = keys[0]
+        if "shard" in payload and key != "grid":
+            raise HttpError(
+                400, "'shard' is only valid on a 'grid' submission"
+            )
         try:
             if key == "spec":
-                return [RunSpec.from_dict(payload["spec"])]
+                return [RunSpec.from_dict(payload["spec"])], None
             if key == "specs":
                 entries = payload["specs"]
                 if not isinstance(entries, list) or not entries:
                     raise ValueError("'specs' must be a non-empty list")
-                return [RunSpec.from_dict(entry) for entry in entries]
-            return list(SweepGrid.from_dict(payload["grid"]).specs())
+                return [RunSpec.from_dict(e) for e in entries], None
+            grid = SweepGrid.from_dict(payload["grid"])
+            if "shard" not in payload:
+                return list(grid.specs()), None
+            shard = self._parse_shard_field(payload["shard"])
+            specs = list(grid.shard(*shard))
+            if not specs:
+                raise ValueError(
+                    f"shard {shard[0]}/{shard[1]} of this grid is empty "
+                    f"({len(grid)} cells across {shard[1]} shards)"
+                )
+            return specs, shard
         except HttpError:
             raise
         except (KeyError, TypeError, ValueError) as error:
             raise HttpError(400, f"invalid {key!r} submission: {error}")
 
     async def submit_job(self, request: Request) -> Response:
-        specs = self._parse_submission(request.json())
+        specs, shard = self._parse_submission(request.json())
         request_id = context_fields().get("request_id")
-        job_id = self.manager.submit(specs, request_id=request_id)
+        job_id = self.manager.submit(
+            specs, request_id=request_id, shard=shard
+        )
         return self._respond(
             request, {"job": self.manager.describe(job_id)}, status=202
         )

@@ -83,9 +83,18 @@ class ServiceClient:
     def submit_specs(self, specs: List[Dict[str, Any]]) -> Dict[str, Any]:
         return self._request("POST", "/jobs", payload={"specs": specs})
 
-    def submit_grid(self, grid: Dict[str, Any]) -> Dict[str, Any]:
-        """Submit a ``SweepGrid.from_dict`` payload; returns the job view."""
-        return self._request("POST", "/jobs", payload={"grid": grid})
+    def submit_grid(
+        self, grid: Dict[str, Any], shard: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Submit a ``SweepGrid.from_dict`` payload; returns the job view.
+
+        ``shard="i/N"`` submits only that deterministic shard of the
+        grid (the same partition ``repro sweep --shard`` computes).
+        """
+        payload: Dict[str, Any] = {"grid": grid}
+        if shard is not None:
+            payload["shard"] = shard
+        return self._request("POST", "/jobs", payload=payload)
 
     def jobs(self) -> Dict[str, Any]:
         return self._request("GET", "/jobs")

@@ -35,7 +35,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Sequence
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.runner import RunResult
 from repro.orchestration.pool import ExperimentPool
@@ -74,6 +74,8 @@ class Job:
     created_at: float = field(default_factory=time.time)
     state: str = "queued"
     error: Optional[str] = None
+    #: ``(index, count)`` when this job is one shard of a larger grid.
+    shard: Optional[Tuple[int, int]] = None
     events: List[Dict[str, Any]] = field(default_factory=list)
 
     def add_event(self, event: str, **fields: Any) -> Dict[str, Any]:
@@ -159,15 +161,26 @@ class JobManager:
         self,
         specs: Sequence[RunSpec],
         request_id: Optional[str] = None,
+        shard: Optional[Tuple[int, int]] = None,
     ) -> str:
         """Register a job for the given specs; returns its job id.
 
         Duplicate specs within the submission collapse to one cell;
         cells already known to the registry (in flight or completed)
-        are *shared*, not re-executed.
+        are *shared*, not re-executed.  ``shard=(index, count)`` tags
+        the job as one shard of a larger grid — the caller is expected
+        to have partitioned the specs already (the HTTP layer applies
+        :meth:`SweepGrid.shard` before calling here), so the tag is
+        bookkeeping that surfaces in ``describe`` and the event feed.
         """
         if not specs:
             raise ValueError("a job needs at least one spec")
+        if shard is not None:
+            index, count = shard
+            if not 0 <= index < count:
+                raise ValueError(
+                    f"shard index {index} out of range for count {count}"
+                )
         with self._condition:
             self._job_counter += 1
             job_id = f"job-{self._job_counter:06d}"
@@ -196,13 +209,16 @@ class JobManager:
                 request_id=request_id,
                 cell_hashes=cell_hashes,
                 owned_hashes=owned_hashes,
+                shard=shard,
             )
-            job.add_event(
-                "job_queued",
-                cells=len(cell_hashes),
-                owned=len(owned),
-                shared=shared,
-            )
+            queued_fields: Dict[str, Any] = {
+                "cells": len(cell_hashes),
+                "owned": len(owned),
+                "shared": shared,
+            }
+            if shard is not None:
+                queued_fields["shard"] = f"{shard[0]}/{shard[1]}"
+            job.add_event("job_queued", **queued_fields)
             # Cells that completed before this job arrived surface as
             # immediate events, so a late subscriber still sees every
             # cell exactly once in its feed.
@@ -225,6 +241,7 @@ class JobManager:
                 cells=len(cell_hashes),
                 owned=len(owned),
                 shared=shared,
+                shard=None if shard is None else f"{shard[0]}/{shard[1]}",
             )
             return job_id
 
@@ -251,6 +268,11 @@ class JobManager:
                 "created_at": job.created_at,
                 "counts": counts,
                 "error": job.error,
+                "shard": (
+                    None
+                    if job.shard is None
+                    else {"index": job.shard[0], "count": job.shard[1]}
+                ),
             }
             if include_cells:
                 view["cells"] = [

@@ -255,6 +255,75 @@ class TestServiceEndpoints:
         assert done["counts"]["total"] == 4
         assert done["counts"]["done"] == 4
 
+    def test_sharded_grid_submissions_cover_the_grid(self, service):
+        grid = {
+            "scenarios": ["steady-4x4"],
+            "controllers": ["util-bp"],
+            "seeds": [1, 2, 3, 4],
+            "engines": ["meso"],
+            "durations": [40.0],
+        }
+        jobs = []
+        for index in range(2):
+            job = service.client.submit_grid(grid, shard=f"{index}/2")["job"]
+            assert job["shard"] == {"index": index, "count": 2}
+            jobs.append(job)
+        totals = 0
+        for job in jobs:
+            done = service.client.job(job["job_id"], wait=120)["job"]
+            assert done["state"] == "done"
+            assert done["shard"] == job["shard"]
+            totals += done["counts"]["total"]
+        # The two shards partition the grid: every cell ran exactly once.
+        assert totals == 4
+        stats = service.client.health()["stats"]
+        assert stats["executed"] == 4
+        assert stats["cells"] == 4
+
+    def test_shard_submission_validated(self, service):
+        grid = {
+            "scenarios": ["steady-4x4"],
+            "seeds": [1],
+            "durations": [40.0],
+        }
+        for body in (
+            {"spec": SPEC, "shard": "0/2"},
+            {"grid": grid, "shard": "2/2"},
+            {"grid": grid, "shard": "nope"},
+            {"grid": grid, "shard": [1, 2, 3]},
+        ):
+            with pytest.raises(ServiceError) as error:
+                service.client.submit(body)
+            assert error.value.status == 400
+        # A shard designator landing on an empty shard is a clear 400,
+        # not a zero-cell job: the 1-cell grid fills exactly one of the
+        # two shards (which one depends on the content hash).
+        whole = service.client.submit_grid(grid)["job"]
+        assert whole["shard"] is None
+        empty_shards = 0
+        for index in range(2):
+            try:
+                job = service.client.submit_grid(grid, shard=f"{index}/2")
+                assert job["job"]["counts"]["total"] == 1
+            except ServiceError as error:
+                assert error.status == 400
+                assert "empty" in error.message
+                empty_shards += 1
+        assert empty_shards == 1
+
+    def test_healthz_reports_store_rows_and_versions(self, service):
+        from repro.orchestration.spec import SPEC_SCHEMA_VERSION
+
+        before = service.client.health()["store"]
+        assert before["rows"] == 0
+        assert before["layout_version"] == 1
+        assert before["spec_schema_version"] == SPEC_SCHEMA_VERSION
+        job = service.client.submit_spec(SPEC)["job"]
+        service.client.job(job["job_id"], wait=60)
+        after = service.client.health()["store"]
+        assert after["rows"] == 1
+        assert after["path"].endswith("service.sqlite")
+
     def test_query_and_aggregate_served_from_store(self, service):
         job = service.client.submit_spec(SPEC)["job"]
         service.client.job(job["job_id"], wait=60)

@@ -242,6 +242,88 @@ class TestCliStoreOptions:
         assert code == 0
         assert "cache hits 1" in capsys.readouterr().out
 
+    def test_shard_and_fleet_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["sweep", "--shard", "2/4"])
+        assert args.shard == "2/4"
+        args = parser.parse_args(["sweep", "--fleet", "3"])
+        assert args.fleet == 3
+        args = parser.parse_args(
+            ["submit", "--scenario", "steady-4x4", "--shard", "0/2"]
+        )
+        assert args.shard == "0/2"
+        for bad in (["--shard", "4/4"], ["--shard", "nope"]):
+            with pytest.raises(SystemExit):
+                parser.parse_args(["sweep", *bad])
+        with pytest.raises(SystemExit):  # mutually exclusive
+            parser.parse_args(["sweep", "--shard", "0/2", "--fleet", "2"])
+
+    def test_fleet_requires_store(self, capsys):
+        code = main(
+            ["sweep", "--patterns", "I", "--duration", "60", "--fleet", "2"]
+        )
+        assert code == 2
+        assert "--store" in capsys.readouterr().err
+
+    def _shard_sweep(self, seeds, *extra):
+        return [
+            "sweep", "--patterns", "I", "--controllers", "util-bp",
+            "--duration", "60", "--seeds", *map(str, seeds), *extra,
+        ]
+
+    def test_sharded_sweeps_merge_to_complete_store(self, tmp_path, capsys):
+        seeds = [1, 2, 3, 4]
+        for index in range(2):
+            shard_store = tmp_path / f"shard-{index}.sqlite"
+            code = main(
+                self._shard_sweep(
+                    seeds, "--shard", f"{index}/2",
+                    "--store", str(shard_store),
+                )
+            )
+            assert code == 0
+            assert f"shard {index}/2" in capsys.readouterr().out
+        merged = tmp_path / "merged.sqlite"
+        code = main(
+            [
+                "results", "merge", str(merged),
+                str(tmp_path / "shard-0.sqlite"),
+                str(tmp_path / "shard-1.sqlite"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 inserted" in out or "rows total" in out
+        # Resume against the merged store: nothing left to compute.
+        code = main(self._shard_sweep(seeds, "--store", str(merged)))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "executed 0" in out
+        assert "cache hits 4" in out
+
+    def test_results_merge_reports_bad_source(self, tmp_path, capsys):
+        code = main(
+            [
+                "results", "merge", str(tmp_path / "out.sqlite"),
+                str(tmp_path / "missing.sqlite"),
+            ]
+        )
+        assert code == 2
+        assert "no result store" in capsys.readouterr().err
+
+    def test_fleet_sweep_end_to_end(self, tmp_path, capsys):
+        store = tmp_path / "fleet.sqlite"
+        code = main(
+            self._shard_sweep([1, 2], "--fleet", "2", "--store", str(store))
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2 shards" in out
+        # The table pass after the merge is pure cache hits.
+        assert "executed 0" in out
+        assert "cache hits 2" in out
+        assert store.is_file()
+
     def test_serve_and_submit_commands_parse(self):
         parser = build_parser()
         args = parser.parse_args(
