@@ -1,0 +1,127 @@
+"""Changepoint-analysis throughput: detection and verdict assembly.
+
+Times the two costs ``repro analyze changepoints`` pays per store:
+
+* ``test_cusum_detection`` — full single-series detections (CUSUM scan
+  + 199-permutation block calibration) over a fixed synthetic batch of
+  AR(1) queue-like series, half with an injected level shift; reported
+  in series/s.  This is the same shape the gated
+  ``analysis/cusum-10k`` workload in ``scripts/bench_ci.py`` measures.
+* ``test_verdict_pipeline`` — end-to-end :func:`analyze_records` over
+  synthetic (spec, result) pairs carrying real ``QueueTrace`` objects:
+  trace summation, warm-up discard, per-run detection and cell-verdict
+  aggregation; reported in runs/s.
+
+Everything is seeded, so repeated nightly points measure the code, not
+the workload.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_analysis.py \
+        --benchmark-only -q
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_records, detect_changepoint
+from repro.metrics.traces import QueueTrace
+from repro.util.series import TimeSeries
+
+N_SERIES = 50
+N_SAMPLES = 200
+
+
+def _synthetic_batch():
+    """AR(1) series, every second one with a mid-series level shift."""
+    rng = np.random.default_rng(12345)
+    batch = []
+    for index in range(N_SERIES):
+        noise = rng.normal(0.0, 1.0, size=N_SAMPLES)
+        values = np.empty(N_SAMPLES)
+        level = 0.0
+        for i in range(N_SAMPLES):
+            level = 0.7 * level + noise[i]
+            values[i] = level
+        if index % 2 == 0:
+            values[N_SAMPLES // 2 :] += 8.0
+        batch.append(values)
+    return batch
+
+
+class _FakeSummary:
+    delay_mode = "aggregate"
+
+
+class _FakeResult:
+    """Just enough of a RunResult for the analyzer: traces + summary."""
+
+    summary = _FakeSummary()
+
+    def __init__(self, queue_traces):
+        self.queue_traces = queue_traces
+
+
+class _FakeSpec:
+    """Just enough of a RunSpec for cell grouping."""
+
+    pattern = "bench-3x3"
+    controller = "util-bp"
+    controller_params = ()
+    engine = "meso-counts"
+    scenario_params = ()
+
+    def __init__(self, seed):
+        self.seed = seed
+
+
+def _synthetic_records(n_runs=8, n_roads=6):
+    """(spec, result) pairs with gridlock-shaped entry-queue traces."""
+    rng = np.random.default_rng(999)
+    records = []
+    for seed in range(1, n_runs + 1):
+        traces = {}
+        for road in range(n_roads):
+            trace = QueueTrace(road_id=f"IN:{road}")
+            trace.series = TimeSeries(f"IN:{road}")
+            level = 0.0
+            for i in range(N_SAMPLES):
+                level = max(0.0, 0.8 * level + rng.normal(0.5, 1.0))
+                value = level + (6.0 if i > N_SAMPLES // 2 else 0.0)
+                trace.series.append(float(i * 5), value)
+            traces[(f"J{road}", f"IN:{road}")] = trace
+        records.append((_FakeSpec(seed), _FakeResult(traces)))
+    return records
+
+
+@pytest.mark.benchmark(group="analysis", warmup=False)
+def test_cusum_detection(benchmark):
+    batch = _synthetic_batch()
+
+    def run():
+        return sum(
+            1
+            for values in batch
+            if detect_changepoint(values, seed=7) is not None
+        )
+
+    detections = benchmark(run)
+    assert detections >= N_SERIES // 2
+    benchmark.extra_info["series_per_second"] = round(
+        N_SERIES / benchmark.stats["mean"], 1
+    )
+
+
+@pytest.mark.benchmark(group="analysis", warmup=False)
+def test_verdict_pipeline(benchmark):
+    records = _synthetic_records()
+
+    def run():
+        return analyze_records(records)
+
+    verdicts = benchmark(run)
+    assert len(verdicts) == 1
+    assert verdicts[0].status == "breakdown"
+    benchmark.extra_info["runs_per_second"] = round(
+        len(records) / benchmark.stats["mean"], 1
+    )

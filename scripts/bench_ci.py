@@ -33,7 +33,13 @@ Measures two kinds of steps/second on a small, fixed workload set:
 * **merge throughput** — ``ResultStore.merge_from`` rows per second
   merging a 400-row shard store into a fresh canonical store (key
   ``store/merge-400``): the tax a fleet run pays after the last shard
-  finishes.
+  finishes;
+* **changepoint detection** — full CUSUM detections (scan +
+  199-permutation calibration) per second over deterministic synthetic
+  queue series (key ``analysis/cusum-10k``, 50 series x 200 samples,
+  reported in series/s): the per-run cost ``repro analyze
+  changepoints`` pays for every stored cell, so detection stays cheap
+  relative to simulating the runs it analyzes.
 
 Five gates, all enforced in CI:
 
@@ -99,7 +105,7 @@ from repro.scenarios import build_named_scenario
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline_ci.json"
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 #: Closed-loop workloads: (key, engine, scenario name, measured steps).
 WORKLOADS = (
@@ -509,6 +515,51 @@ def measure_merge_rows_per_second(repeats: int, rows: int = MERGE_ROWS) -> float
     return best
 
 
+#: Shape of the changepoint-detection workload: series count and
+#: samples per series (roughly 10k samples total, hence the key).
+ANALYSIS_SERIES = 50
+ANALYSIS_SAMPLES = 200
+
+
+def measure_cusum_series_per_second(repeats: int) -> float:
+    """Best-of-``repeats`` full CUSUM detections per second.
+
+    Builds a fixed synthetic batch of ``ANALYSIS_SERIES`` queue-like
+    series (seeded AR(1) noise, half with an injected mid-series level
+    shift — the analyzer's real input shape) and times
+    ``detect_changepoint`` over each: one scan plus its 199-permutation
+    threshold calibration, the dominant cost of ``repro analyze``.
+    """
+    from repro.analysis import detect_changepoint
+
+    rng = np.random.default_rng(12345)
+    batch = []
+    for index in range(ANALYSIS_SERIES):
+        noise = rng.normal(0.0, 1.0, size=ANALYSIS_SAMPLES)
+        values = np.empty(ANALYSIS_SAMPLES)
+        level = 0.0
+        for i in range(ANALYSIS_SAMPLES):
+            level = 0.7 * level + noise[i]
+            values[i] = level
+        if index % 2 == 0:
+            values[ANALYSIS_SAMPLES // 2 :] += 8.0
+        batch.append(values)
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        detections = sum(
+            1
+            for values in batch
+            if detect_changepoint(values, seed=7) is not None
+        )
+        elapsed = time.perf_counter() - start
+        assert detections >= ANALYSIS_SERIES // 2, (
+            f"detector missed injected shifts: {detections}"
+        )
+        best = max(best, ANALYSIS_SERIES / elapsed)
+    return best
+
+
 def run_benchmarks(
     repeats: int, minimums: Dict[str, float], speedup_repeats: int
 ) -> Dict:
@@ -596,6 +647,11 @@ def run_benchmarks(
         "store/merge-400",
         measure_merge_rows_per_second(repeats),
         unit="rows/s",
+    )
+    record(
+        "analysis/cusum-10k",
+        measure_cusum_series_per_second(repeats),
+        unit="series/s",
     )
     speedups = []
     for fast_key, reference_key, minimum_name in SPEEDUP_GATES:

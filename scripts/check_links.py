@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Docs link checker: every intra-repo Markdown link must resolve.
+
+Scans README.md and docs/*.md for Markdown links and fails (exit 1)
+when a relative link points at a file that does not exist, or a
+same-file/cross-file ``#fragment`` names a heading the target page
+does not contain. External links (http/https/mailto) are not fetched —
+CI must not depend on the network — and bare anchors inside code
+blocks are ignored.
+
+Stdlib only; run from anywhere:
+
+    python scripts/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Blank out fenced code blocks so example links are not checked."""
+    out, fenced = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            out.append("")
+            continue
+        out.append("" if fenced else line)
+    return "\n".join(out)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    """All heading anchors a Markdown file exposes."""
+    slugs = set()
+    for line in _strip_code_blocks(path.read_text()).splitlines():
+        match = HEADING.match(line)
+        if match:
+            slugs.add(_slugify(match.group(1)))
+    return slugs
+
+
+def check_file(path: Path, root: Path) -> list:
+    """Return a list of broken-link descriptions for one file."""
+    problems = []
+    for target in LINK.findall(_strip_code_blocks(path.read_text())):
+        if target.startswith(EXTERNAL):
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = (path.parent / base).resolve() if base else path
+        if base and not resolved.exists():
+            problems.append(f"{path.relative_to(root)}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if _slugify(fragment) not in _anchors(resolved):
+                problems.append(
+                    f"{path.relative_to(root)}: missing anchor -> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    """Check every documentation page; print problems, return exit code."""
+    root = Path(__file__).resolve().parent.parent
+    pages = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    problems = []
+    for page in pages:
+        if not page.exists():
+            problems.append(f"missing page: {page.relative_to(root)}")
+            continue
+        problems.extend(check_file(page, root))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = ", ".join(str(p.relative_to(root)) for p in pages)
+    if problems:
+        print(f"link check FAILED ({len(problems)} problems)", file=sys.stderr)
+        return 1
+    print(f"link check OK: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -271,4 +271,41 @@ wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 
 echo
+echo "== regime-shift analysis (gridlock breakdown vs steady stable) =="
+# A tiny gridlock-vs-steady pair with entry-queue recording on, run as
+# a 2-shard fleet so the analyzer consumes a *merged* store; the CUSUM
+# analyzer must flag the overloaded family as a breakdown with a
+# finite onset and call the steady family stable, and the CSV export
+# must round-trip the same verdicts.
+ANALYZE_STORE="$CACHE_DIR/analyze.sqlite"
+"$PYTHON" -m repro sweep \
+    --scenario gridlock-3x3 steady-3x3 --engine meso-counts \
+    --seeds 1 2 --duration 900 --record-entry-queues -1 \
+    --fleet 2 --store "$ANALYZE_STORE" 2>/dev/null
+ANALYSIS=$("$PYTHON" -m repro analyze changepoints --store "$ANALYZE_STORE")
+echo "$ANALYSIS"
+echo "$ANALYSIS" | grep -E "gridlock-3x3.*breakdown@[0-9]+s" >/dev/null \
+    || { echo "smoke FAILED: gridlock cell was not flagged as a breakdown"; exit 1; }
+echo "$ANALYSIS" | grep -E "steady-3x3.*\| stable" >/dev/null \
+    || { echo "smoke FAILED: steady cell was not judged stable"; exit 1; }
+"$PYTHON" -m repro analyze changepoints --store "$ANALYZE_STORE" \
+    --format csv --output "$CACHE_DIR/verdicts.csv"
+"$PYTHON" - "$CACHE_DIR/verdicts.csv" <<'EOF'
+import csv
+import sys
+
+with open(sys.argv[1], newline="") as handle:
+    rows = list(csv.DictReader(handle))
+by_pattern = {row["pattern"]: row for row in rows}
+gridlock = by_pattern["gridlock-3x3"]
+steady = by_pattern["steady-3x3"]
+assert gridlock["status"] == "breakdown", gridlock
+assert float(gridlock["onset"]) > 0, gridlock
+assert float(gridlock["onset_lo"]) <= float(gridlock["onset_hi"]), gridlock
+assert steady["status"] == "stable", steady
+print(f"verdict CSV round-trip: {len(rows)} rows, "
+      f"gridlock breakdown@{float(gridlock['onset']):.0f}s, steady stable")
+EOF
+
+echo
 echo "smoke OK"

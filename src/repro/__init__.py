@@ -21,6 +21,9 @@ The package is organized bottom-up:
   :class:`~repro.results.store.ResultStore` (resumable sweeps), shared
   group-by aggregation with delay-mode safety, and the declarative
   :class:`~repro.results.experiment.ExperimentDefinition` registry.
+* :mod:`repro.analysis` — regime-shift analytics over stored results:
+  CUSUM changepoint detection with permutation calibration and
+  per-cell stability verdicts (``stable`` / ``breakdown@t*``).
 * :mod:`repro.experiments` — the 3x3 evaluation scenarios and the
   drivers regenerating every table and figure of the paper, each one
   an experiment definition.
@@ -38,7 +41,7 @@ Quickstart
 import surface for downstream code.)
 """
 
-__version__ = "1.0.0"
+__version__ = "0.3.0"
 
 from repro.core import UtilBpConfig, UtilBpController
 from repro.control import (

@@ -31,6 +31,12 @@ Layout of the surface:
 * results — :class:`ResultStore`, :class:`StoredRecord`,
   :class:`MergeStats`, :class:`MergeError`,
   :func:`aggregate`, :func:`tidy_table`, :class:`MetricStats`;
+* analysis — :class:`AnalysisOptions`, :class:`StabilityVerdict`,
+  :func:`analyze_records`, :func:`analyze_store`,
+  :func:`breakdown_frontier`, :func:`verdict_rows`,
+  :func:`detect_changepoint`, :func:`detect_changepoints`,
+  :func:`cusum_scan`, :func:`permutation_threshold`,
+  :func:`onset_interval`;
 * service — :func:`serve`, :func:`create_app`,
   :class:`ServiceClient` (imported lazily so ``repro.api`` stays
   cheap and the service layer can import :data:`API_VERSION` from
@@ -43,6 +49,21 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.analysis import (
+    AnalysisOptions,
+    Changepoint,
+    CusumScan,
+    StabilityVerdict,
+    analyze_records,
+    analyze_store,
+    breakdown_frontier,
+    cusum_scan,
+    detect_changepoint,
+    detect_changepoints,
+    onset_interval,
+    permutation_threshold,
+    verdict_rows,
+)
 from repro.experiments.runner import (
     RunConfig,
     RunResult,
@@ -77,10 +98,29 @@ from repro.util.logging import get_logger, log_context
 
 #: The public API schema version (``major.minor``); embedded in every
 #: service response envelope as ``api_version``.
-API_VERSION = "1.1"
+API_VERSION = "1.2"
+
+
+def package_version() -> str:
+    """The installed package version (distinct from :data:`API_VERSION`).
+
+    Resolved from installed-distribution metadata when the package is
+    installed, falling back to ``repro.__version__`` for source-tree
+    (``PYTHONPATH=src``) use.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        import repro
+
+        return repro.__version__
+
 
 __all__ = [
     "API_VERSION",
+    "package_version",
     # scenarios
     "Scenario",
     "build_scenario",
@@ -112,6 +152,20 @@ __all__ = [
     "aggregate",
     "tidy_table",
     "MetricStats",
+    # analysis
+    "AnalysisOptions",
+    "Changepoint",
+    "CusumScan",
+    "StabilityVerdict",
+    "analyze_records",
+    "analyze_store",
+    "breakdown_frontier",
+    "cusum_scan",
+    "detect_changepoint",
+    "detect_changepoints",
+    "onset_interval",
+    "permutation_threshold",
+    "verdict_rows",
     # service (lazy wrappers)
     "serve",
     "create_app",

@@ -8,6 +8,7 @@ sweep      run a (workload x controller x seed) grid on the worker pool
            runs all N shards as subprocesses with per-shard stores and
            merges them into --store)
 results    inspect a result store (list / show / export / merge)
+analyze    regime-shift analytics over a store (changepoint verdicts)
 scenarios  list/inspect the scenario catalog (repro.scenarios)
 serve      run the simulation service (HTTP submission/query server)
 submit     submit specs/grids to a running service
@@ -38,6 +39,28 @@ from repro.control.factory import CONTROLLER_NAMES
 from repro.core.engine import ENGINE_NAMES
 
 __all__ = ["build_parser", "main"]
+
+
+class _VersionAction(argparse.Action):
+    """``--version`` printing both package and API versions.
+
+    Custom (instead of ``action="version"``) so :mod:`repro.api` is
+    imported only when the flag is actually used — parser construction
+    stays cheap for every other invocation.
+    """
+
+    def __init__(self, option_strings, dest, **kwargs):
+        """Configure as a zero-argument, exiting flag."""
+        kwargs.setdefault("nargs", 0)
+        kwargs.setdefault("help", "print package and API versions, then exit")
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        """Print ``repro <pkg-version> (api <API_VERSION>)`` and exit."""
+        from repro.api import API_VERSION, package_version
+
+        print(f"repro {package_version()} (api {API_VERSION})")
+        parser.exit(0)
 
 
 def _add_pool_options(parser: argparse.ArgumentParser) -> None:
@@ -164,6 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
             "Signals Using Adaptive Back Pressure' (DATE 2020)"
         ),
     )
+    parser.add_argument("--version", action=_VersionAction)
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one scenario/controller")
@@ -210,6 +234,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.add_argument("--duration", type=float, default=1800.0)
+    sweep.add_argument(
+        "--record-entry-queues", type=int, default=0, metavar="N",
+        help=(
+            "record queue traces at each workload's entry roads "
+            "(0 = off, -1 = all entries, n = the first n) — the input "
+            "'repro analyze changepoints' needs"
+        ),
+    )
     scale_out = sweep.add_mutually_exclusive_group()
     scale_out.add_argument(
         "--shard", type=_parse_shard_token, default=None, metavar="I/N",
@@ -430,6 +462,80 @@ def build_parser() -> argparse.ArgumentParser:
     stability = sub.add_parser("stability", help="demand-scale sweep")
     stability.add_argument("--duration", type=float, default=1200.0)
     _add_pool_options(stability)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="regime-shift analytics over a result store (repro.analysis)",
+    )
+    analyze_sub = analyze.add_subparsers(
+        dest="analyze_command", required=True
+    )
+    changepoints = analyze_sub.add_parser(
+        "changepoints",
+        help=(
+            "CUSUM stability verdicts per (workload, controller, load) "
+            "cell: stable | breakdown@t* [CI] | insufficient-data"
+        ),
+    )
+    changepoints.add_argument(
+        "--store", default="results.sqlite", metavar="FILE",
+        help="the SQLite result store to analyze (default: results.sqlite)",
+    )
+    changepoints.add_argument(
+        "--pattern", default=None, help="restrict to one workload")
+    changepoints.add_argument(
+        "--controller", default=None, help="restrict to one controller")
+    changepoints.add_argument(
+        "--engine", default=None, help="restrict to one engine")
+    changepoints.add_argument(
+        "--seed", type=int, default=None, help="restrict to one seed")
+    changepoints.add_argument(
+        "--delay-mode", default=None, dest="delay_mode",
+        help="restrict to one delay mode (per-vehicle / aggregate)",
+    )
+    changepoints.add_argument(
+        "--warmup-fraction", type=float, default=0.25,
+        help="leading fraction of each series discarded (default 0.25)",
+    )
+    changepoints.add_argument(
+        "--min-points", type=int, default=20,
+        help="fewest post-warm-up samples a run needs (default 20)",
+    )
+    changepoints.add_argument(
+        "--min-shift", type=float, default=2.0, dest="min_shift",
+        help=(
+            "breakdown effect-size floor in vehicles per recorded "
+            "series (default 2.0)"
+        ),
+    )
+    changepoints.add_argument(
+        "--quantile", type=float, default=0.95,
+        help="permutation-null detection quantile (default 0.95)",
+    )
+    changepoints.add_argument(
+        "--permutations", type=int, default=199,
+        help="permutation draws per series (default 199)",
+    )
+    changepoints.add_argument(
+        "--block", type=int, default=12,
+        help="circular block length of the permutation null (default 12)",
+    )
+    changepoints.add_argument(
+        "--perm-seed", type=int, default=0, dest="perm_seed",
+        help="permutation RNG seed (default 0; fixed = deterministic)",
+    )
+    changepoints.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="onset confidence-interval coverage (default 0.95)",
+    )
+    changepoints.add_argument(
+        "--format", choices=("csv", "json"), default=None,
+        help="export tidy verdict rows instead of the table",
+    )
+    changepoints.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the export to FILE instead of stdout",
+    )
     return parser
 
 
@@ -456,6 +562,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         seeds=tuple(args.seeds),
         engines=tuple(args.engine),
         durations=(args.duration,),
+        record_entry_queues=args.record_entry_queues,
     )
 
     fleet_report = None
@@ -728,6 +835,69 @@ def _run_results(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        AnalysisOptions,
+        analyze_store,
+        render_verdicts,
+        verdict_rows,
+    )
+
+    if not Path(args.store).exists():
+        print(
+            f"repro analyze: no store at {args.store!r} (run a sweep "
+            f"with --store and --record-entry-queues first)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        options = AnalysisOptions(
+            warmup_fraction=args.warmup_fraction,
+            min_points=args.min_points,
+            min_shift_per_series=args.min_shift,
+            quantile=args.quantile,
+            n_permutations=args.permutations,
+            block_length=args.block,
+            seed=args.perm_seed,
+            confidence=args.confidence,
+        )
+    except ValueError as error:
+        print(f"repro analyze: {error}", file=sys.stderr)
+        return 2
+    filters = {
+        key: getattr(args, key)
+        for key in ("pattern", "controller", "engine", "seed", "delay_mode")
+        if getattr(args, key) is not None
+    }
+    verdicts = analyze_store(args.store, options=options, **filters)
+    if args.format is None:
+        print(render_verdicts(verdicts))
+        return 0
+    rows = verdict_rows(verdicts)
+    if args.format == "json":
+        import json as _json
+
+        text = _json.dumps(rows, indent=2) + "\n"
+    else:
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        if rows:
+            writer = csv.DictWriter(buffer, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+        text = buffer.getvalue()
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {len(rows)} rows to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def _run_scenarios(args: argparse.Namespace) -> int:
     from repro.scenarios import build_named_scenario, catalog_entries
     from repro.util.tables import render_table
@@ -911,6 +1081,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "scenarios":
         return _run_scenarios(args)
+
+    if args.command == "analyze":
+        return _run_analyze(args)
 
     if args.command == "serve":
         from repro.service import serve as run_service

@@ -112,12 +112,14 @@ class FixedSlotController(IntersectionController):
         """Pick the control phase for the slot starting at ``obs.time``."""
 
     def reset(self) -> None:
+        """Restart the slot and transition timers for a fresh run."""
         super().reset()
         self._slot_end = -math.inf
         self._transition_until = -math.inf
         self._pending = None
 
     def decide(self, obs: QueueObservation) -> int:
+        """Advance the fixed-slot machinery and return the applied phase."""
         now = obs.time
         if self._pending is not None:
             if now < self._transition_until:

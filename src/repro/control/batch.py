@@ -221,6 +221,7 @@ class _BatchControllerBase:
 
     def reset(self) -> None:
         #: c(k-1) per (replication, node); 0 is the transition phase.
+        """Reset every replication to the transition phase."""
         self._current = np.zeros(self._shape, dtype=np.int64)
 
     def _check(self, arrays: BatchControlArrays) -> None:
@@ -259,11 +260,13 @@ class BatchUtilBpController(_BatchControllerBase):
         super().__init__(network, batch_size)
 
     def reset(self) -> None:
+        """Reset phases and per-cell transition timers."""
         super().reset()
         #: t_{Delta k} per (replication, node).
         self._transition_until = np.full(self._shape, -math.inf)
 
     def decide_batch(self, arrays: BatchControlArrays) -> np.ndarray:
+        """Run Algorithm 1 on the whole ``(B, N)`` batch at once."""
         self._check(arrays)
         lay = self._layout
         cfg = self.config
@@ -354,6 +357,7 @@ class _BatchFixedSlotController(_BatchControllerBase):
         super().__init__(network, batch_size)
 
     def reset(self) -> None:
+        """Reset phases, slot timers and pending selections."""
         super().reset()
         self._slot_end = np.full(self._shape, -math.inf)
         self._transition_until = np.full(self._shape, -math.inf)
@@ -367,6 +371,7 @@ class _BatchFixedSlotController(_BatchControllerBase):
         raise NotImplementedError
 
     def decide_batch(self, arrays: BatchControlArrays) -> np.ndarray:
+        """Advance the fixed-slot machinery for every cell at once."""
         self._check(arrays)
         now = arrays.time
         previous = self._current
@@ -499,6 +504,7 @@ def _build_util_bp(
 
 def _build_fixed_slot(cls):
     def build(network: Network, batch_size: int, **kwargs: Any):
+        """Construct the controller, requiring an explicit period."""
         if "period" not in kwargs:
             raise TypeError(f"{cls.__name__} requires a 'period' parameter")
         return cls(network, batch_size, **kwargs)

@@ -80,6 +80,7 @@ class CapBpController(FixedSlotController):
         return False
 
     def select_phase(self, obs: QueueObservation) -> int:
+        """Rank phases by capacity-aware back-pressure weight."""
         scored: List[Tuple[float, int, bool]] = []
         for phase in self.intersection.phases:
             scored.append(

@@ -47,6 +47,7 @@ def _make_fixed_slot(
     cls: Callable[..., IntersectionController],
 ) -> Callable[..., IntersectionController]:
     def build(intersection: Intersection, **kwargs: Any) -> IntersectionController:
+        """Instantiate the controller from its registered config keys."""
         if "period" not in kwargs:
             raise TypeError(f"{cls.__name__} requires a 'period' parameter")
         return cls(intersection, **kwargs)

@@ -40,10 +40,12 @@ class FixedTimeController(FixedSlotController):
         self._cursor = -1
 
     def reset(self) -> None:
+        """Restart the cycle from the first phase."""
         super().reset()
         self._cursor = -1
 
     def select_phase(self, obs: QueueObservation) -> int:
+        """Return the next phase of the fixed cycle (queues ignored)."""
         del obs  # fixed-time control is open loop
         self._cursor = (self._cursor + 1) % len(self._order)
         return self._order[self._cursor]

@@ -28,6 +28,7 @@ class OriginalBpController(FixedSlotController):
     """Fixed-slot back-pressure with the original Eq. 5 gains."""
 
     def select_phase(self, obs: QueueObservation) -> int:
+        """Rank phases by original back-pressure weight."""
         best_index = None
         best_gain = -1.0
         for phase in self.intersection.phases:

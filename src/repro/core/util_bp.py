@@ -66,12 +66,14 @@ class UtilBpController(IntersectionController):
         self._transition_until = -math.inf
 
     def reset(self) -> None:
+        """Clear the per-intersection controller state."""
         super().reset()
         self._transition_until = -math.inf
 
     # -- Algorithm 1 -------------------------------------------------------
 
     def decide(self, obs: QueueObservation) -> int:
+        """Apply Algorithm 1: keep, hold through amber, or select anew."""
         t_k = obs.time
         previous = self._current  # c(k-1)
 
@@ -126,6 +128,7 @@ class UtilBpController(IntersectionController):
         # phase (a pointless switch would only buy an amber), then the
         # lowest phase index.
         def rank(item: Tuple[float, Phase]) -> Tuple[float, int, int]:
+            """Score a candidate phase for the Eq.-11/12 arg-max."""
             score, phase = item
             return (-score, 0 if phase.index == self._current else 1, phase.index)
 

@@ -210,6 +210,7 @@ def render_stability(points: Sequence[StabilityPoint]) -> str:
 
 
 def main() -> None:
+    """Run the demand-scale sweep and print its table (CLI shim)."""
     points = run_stability_sweep()
     print(render_stability(points))
     for name in ("util-bp", "cap-bp"):

@@ -1196,21 +1196,26 @@ class _CollectorView:
 
     @property
     def vehicles_entered(self) -> int:
+        """Vehicles that entered this replication so far."""
         return int(self._collector.vehicles_entered[self._b])
 
     @property
     def vehicles_left(self) -> int:
+        """Vehicles that left this replication so far."""
         return int(self._collector.vehicles_left[self._b])
 
     @property
     def total_queuing_time(self) -> float:
+        """Accumulated queuing time of this replication."""
         return float(self._collector.total_queuing_time[self._b])
 
     @property
     def now(self) -> float:
+        """Current simulation time of the batch."""
         return self._collector.now
 
     def summary(self, duration: Optional[float] = None) -> Summary:
+        """Summary of this replication (engine-parity shape)."""
         return self._collector.summary_of(self._b, duration)
 
 
@@ -1235,28 +1240,36 @@ class SingleReplicationEngine:
 
     @property
     def time(self) -> float:
+        """Current simulation time."""
         return self._batch.time
 
     @property
     def utilization(self) -> Dict[str, UtilizationTracker]:
+        """Per-node utilization of the selected replication."""
         return self._batch.utilization_of(0)
 
     def observations(self) -> Dict[str, QueueObservation]:
+        """Queue observations of the selected replication."""
         return self._batch.observations()[0]
 
     def step(self, dt: float, phases: Mapping[str, int]) -> None:
+        """Step the underlying batch one mini-slot forward."""
         self._batch.step(dt, (phases,))
 
     def finalize(self) -> None:
+        """Flush remaining bookkeeping at the end of the horizon."""
         self._batch.finalize()
 
     def incoming_queue_total(self, road_id: str) -> int:
+        """Queued count on one road of the selected replication."""
         return int(self._batch.incoming_queue_total(road_id)[0])
 
     def vehicles_in_network(self) -> int:
+        """Vehicles currently inside the selected replication."""
         return int(self._batch.vehicles_in_network()[0])
 
     def backlog_size(self) -> int:
+        """Blocked-entry backlog of the selected replication."""
         return int(self._batch.backlog_size()[0])
 
 

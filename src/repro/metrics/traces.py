@@ -133,6 +133,14 @@ class QueueTrace:
             raise ValueError(f"queue length must be >= 0, got {queue_length}")
         self.series.append(time, float(queue_length))
 
+    def __len__(self) -> int:
+        """Number of samples recorded so far.
+
+        The changepoint analyzer uses this to decide whether a trace
+        carries enough post-warm-up samples to be worth scanning.
+        """
+        return len(self.series)
+
     def mean(self) -> float:
         """Time-average of the sampled queue length."""
         return self.series.mean()

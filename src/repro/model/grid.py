@@ -107,6 +107,7 @@ def build_grid_network(
     road_destination: Dict[str, str] = {}
 
     def add_road(road_id: str, origin: str, destination: str, cap: int) -> Road:
+        """Create one road and register its endpoints."""
         if road_id in roads:
             return roads[road_id]
         cap = capacity_overrides.pop(road_id, cap)
@@ -122,6 +123,7 @@ def build_grid_network(
         return road
 
     def neighbour(row: int, col: int, side: Direction) -> Optional[str]:
+        """The neighbouring junction id one step in ``direction``."""
         d_row, d_col = _OFFSETS[side]
         n_row, n_col = row + d_row, col + d_col
         if 0 <= n_row < rows and 0 <= n_col < cols:

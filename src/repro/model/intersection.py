@@ -149,6 +149,7 @@ def build_standard_intersection(
     movements: Dict[Tuple[str, str], Movement] = {}
 
     def make(approach: Direction, turn: TurnType) -> Movement:
+        """Build one movement of the standard intersection."""
         exit_side = approach.exit_side(turn)
         mu = service_rate
         if service_rates and (approach, turn) in service_rates:

@@ -114,14 +114,17 @@ class FleetReport:
 
     @property
     def cells(self) -> int:
+        """Total grid cells across all shards."""
         return sum(shard.cells for shard in self.shards)
 
     @property
     def executed(self) -> int:
+        """Cells actually simulated (not served from a store)."""
         return sum(shard.executed for shard in self.shards)
 
     @property
     def cache_hits(self) -> int:
+        """Cells served from shard stores without simulating."""
         return sum(shard.cache_hits for shard in self.shards)
 
 

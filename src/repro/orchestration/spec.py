@@ -387,7 +387,10 @@ class SweepGrid:
     so a scenarios-only grid does not sweep an unrequested pattern.
     Scalar run options (``mini_slot``, ``scenario_params``, recording)
     are shared by every cell; per-entry scenario parameters win over
-    the shared ones.
+    the shared ones.  ``record_entry_queues`` switches on queue-trace
+    recording at each workload's entry roads (``0`` = off, ``-1`` =
+    all entries, ``n > 0`` = the first ``n`` in sorted road order) —
+    the input the regime-shift analyzer (:mod:`repro.analysis`) needs.
     """
 
     patterns: Optional[Tuple[str, ...]] = None
@@ -398,6 +401,7 @@ class SweepGrid:
     mini_slot: float = 1.0
     scenario_params: FrozenParams = ()
     scenarios: Tuple[Tuple[str, FrozenParams], ...] = ()
+    record_entry_queues: int = 0
 
     def __post_init__(self) -> None:
         scenarios = []
@@ -438,6 +442,13 @@ class SweepGrid:
         object.__setattr__(
             self, "scenario_params", _freeze_params(self.scenario_params)
         )
+        record = int(self.record_entry_queues)
+        if record < -1:
+            raise ValueError(
+                f"record_entry_queues must be >= -1 "
+                f"(0=off, -1=all entries, n=first n), got {record}"
+            )
+        object.__setattr__(self, "record_entry_queues", record)
         # scenario_params are shared across the whole workload axis, so
         # a pattern-only key combined with a catalog scenario (or vice
         # versa) must fail at grid construction — per workload, against
@@ -478,6 +489,7 @@ class SweepGrid:
             "durations": list(self.durations),
             "mini_slot": self.mini_slot,
             "scenario_params": _params_to_json(self.scenario_params),
+            "record_entry_queues": self.record_entry_queues,
         }
 
     @classmethod
@@ -501,6 +513,7 @@ class SweepGrid:
             "durations",
             "mini_slot",
             "scenario_params",
+            "record_entry_queues",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -509,6 +522,7 @@ class SweepGrid:
             )
 
         def entries(value):
+            """Normalize an axis list of names / [name, params] pairs."""
             out = []
             for entry in value:
                 if isinstance(entry, str):
@@ -536,6 +550,7 @@ class SweepGrid:
             durations=tuple(payload.get("durations", (None,))),
             mini_slot=float(payload.get("mini_slot", 1.0)),
             scenario_params=scenario_params,
+            record_entry_queues=int(payload.get("record_entry_queues", 0)),
         )
 
     def __len__(self) -> int:
@@ -547,9 +562,35 @@ class SweepGrid:
             * len(self.durations)
         )
 
+    def _entry_queue_pairs(
+        self, name: str, scenario_params: FrozenParams
+    ) -> Tuple[Tuple[str, str], ...]:
+        """Resolve a workload's recorded entry roads to trace pairs.
+
+        Builds the workload's network once (the topology depends only
+        on the build parameters, not on seed or demand realization) and
+        maps each requested entry road to the ``(downstream node,
+        road)`` pair :class:`RunSpec.record_queues` expects.
+        """
+        params = dict(scenario_params)
+        if name in PATTERN_NAMES:
+            scenario = build_scenario(name, seed=self.seeds[0], **params)
+        else:
+            scenario = build_named_scenario(
+                name, seed=self.seeds[0], **params
+            )
+        entries = scenario.network.entry_roads()
+        if self.record_entry_queues > 0:
+            entries = entries[: self.record_entry_queues]
+        return tuple(
+            (scenario.network.road_destination[road], road)
+            for road in entries
+        )
+
     def specs(self) -> Tuple[RunSpec, ...]:
         """Expand the grid into one spec per cell (deterministic order)."""
         out = []
+        pair_cache: Dict[Tuple[str, FrozenParams], Tuple] = {}
         for workload, (controller, params), seed, engine, duration in product(
             self.workloads(),
             self.controllers,
@@ -563,6 +604,14 @@ class SweepGrid:
                 merged = dict(self.scenario_params)
                 merged.update(extra_params)
                 scenario_params = _freeze_params(merged)
+            record_queues: Tuple[Tuple[str, str], ...] = ()
+            if self.record_entry_queues:
+                cache_key = (name, scenario_params)
+                if cache_key not in pair_cache:
+                    pair_cache[cache_key] = self._entry_queue_pairs(
+                        name, scenario_params
+                    )
+                record_queues = pair_cache[cache_key]
             out.append(
                 RunSpec(
                     pattern=name,
@@ -573,6 +622,7 @@ class SweepGrid:
                     duration=duration,
                     mini_slot=self.mini_slot,
                     scenario_params=scenario_params,
+                    record_queues=record_queues,
                 )
             )
         return tuple(out)

@@ -88,6 +88,7 @@ class MetricStats:
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "MetricStats":
+        """Compute the stats of one metric across a group's cells."""
         n = len(values)
         if n == 0:
             raise ValueError("cannot aggregate an empty value list")
@@ -210,6 +211,7 @@ def tidy_table(
     headers = tuple(rows[0])
 
     def fmt(value: Any) -> str:
+        """Format one cell value for the tidy table."""
         if isinstance(value, float):
             return format(value, float_format)
         if value is None:

@@ -86,6 +86,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.fig5",
     "repro.experiments.ablations",
     "repro.experiments.stability",
+    "repro.analysis.stability",
 )
 
 

@@ -94,6 +94,7 @@ class ServiceApp:
         router.add("GET", "/jobs/{job_id}/results", self.job_results)
         router.add("GET", "/results/query", self.results_query)
         router.add("GET", "/results/aggregate", self.results_aggregate)
+        router.add("GET", "/results/changepoints", self.results_changepoints)
         router.add("GET", "/results/{hash_prefix}", self.results_get)
         self.server = HttpServer(
             router, host=host, port=port, on_request=self._wrap_request
@@ -115,15 +116,18 @@ class ServiceApp:
         )
 
     async def serve_forever(self) -> None:
+        """Serve requests until cancelled."""
         await self.server.serve_forever()
 
     async def close(self) -> None:
+        """Stop the server and the job worker."""
         await self.server.close()
         self.manager.stop()
         self._log.info("service_stopped")
 
     @property
     def port(self) -> int:
+        """The bound listening port."""
         return self.server.port
 
     # -- request plumbing ---------------------------------------------------
@@ -188,6 +192,7 @@ class ServiceApp:
     # -- handlers: service --------------------------------------------------
 
     async def healthz(self, request: Request) -> Response:
+        """Liveness: store view, journal mode, cumulative stats."""
         store_view: Dict[str, Any] = {
             "path": self.store_path,
             "rows": 0,
@@ -210,9 +215,13 @@ class ServiceApp:
         )
 
     async def api_info(self, request: Request) -> Response:
+        """Describe the endpoint surface and server versions."""
+        from repro.api import package_version
+
         return self._respond(
             request,
             {
+                "package_version": package_version(),
                 "endpoints": {
                     "GET /healthz": "liveness + cumulative stats",
                     "POST /jobs": "submit {'spec': ...} | {'specs': [...]} "
@@ -223,6 +232,8 @@ class ServiceApp:
                     "GET /jobs/{job_id}/results": "completed cells (?full=1)",
                     "GET /results/query": "filter stored cells by spec axes",
                     "GET /results/aggregate": "grouped mean/std/ci95",
+                    "GET /results/changepoints": "CUSUM stability verdicts "
+                                                 "per cell",
                     "GET /results/{hash_prefix}": "one stored cell",
                 },
             },
@@ -288,6 +299,7 @@ class ServiceApp:
             raise HttpError(400, f"invalid {key!r} submission: {error}")
 
     async def submit_job(self, request: Request) -> Response:
+        """Accept a spec/grid submission and enqueue a job."""
         specs, shard = self._parse_submission(request.json())
         request_id = context_fields().get("request_id")
         job_id = self.manager.submit(
@@ -298,6 +310,7 @@ class ServiceApp:
         )
 
     async def list_jobs(self, request: Request) -> Response:
+        """List every job the manager knows about."""
         return self._respond(request, {"jobs": self.manager.jobs()})
 
     def _job_or_404(self, job_id: str) -> None:
@@ -307,6 +320,7 @@ class ServiceApp:
             raise HttpError(404, f"unknown job {job_id!r}")
 
     async def get_job(self, request: Request) -> Response:
+        """Poll one job (``?wait=SECONDS`` blocks until terminal)."""
         job_id = request.path_params["job_id"]
         self._job_or_404(job_id)
         wait = request.param("wait")
@@ -322,12 +336,14 @@ class ServiceApp:
         return self._respond(request, {"job": self.manager.describe(job_id)})
 
     async def job_events(self, request: Request) -> Response:
+        """Stream a job's recorded events as NDJSON."""
         job_id = request.path_params["job_id"]
         self._job_or_404(job_id)
         follow = request.param("follow", "1") not in ("0", "false", "no")
         manager = self.manager
 
         async def stream():
+            """Yield the event payloads (NDJSON body generator)."""
             seq = 0
             while True:
                 events, terminal = manager.events_since(job_id, seq)
@@ -341,6 +357,7 @@ class ServiceApp:
         return Response.ndjson(stream())
 
     async def job_results(self, request: Request) -> Response:
+        """Completed cells of one job (``?full=1`` embeds results)."""
         job_id = request.path_params["job_id"]
         self._job_or_404(job_id)
         full = request.param("full", "0") not in ("0", "false", "no")
@@ -372,6 +389,7 @@ class ServiceApp:
         return filters
 
     async def results_query(self, request: Request) -> Response:
+        """Filter stored cells by spec axes."""
         filters = self._store_filters(request)
         limit_text = request.param("limit")
         try:
@@ -404,6 +422,7 @@ class ServiceApp:
         )
 
     async def results_aggregate(self, request: Request) -> Response:
+        """Grouped mean/std/ci95 over stored cells."""
         by_text = request.param("by", "pattern,controller,engine")
         by = tuple(axis.strip() for axis in by_text.split(",") if axis.strip())
         unknown = [axis for axis in by if axis not in AXES]
@@ -433,7 +452,53 @@ class ServiceApp:
             request, {"rows": rows, "cells": len(records), "by": list(by)}
         )
 
+    #: ``GET /results/changepoints`` float/int tuning parameters mapped
+    #: onto :class:`repro.analysis.AnalysisOptions` fields.
+    _ANALYSIS_PARAMS = (
+        ("warmup_fraction", "warmup_fraction", float),
+        ("min_points", "min_points", int),
+        ("min_shift", "min_shift_per_series", float),
+        ("quantile", "quantile", float),
+        ("permutations", "n_permutations", int),
+        ("block", "block_length", int),
+        ("perm_seed", "seed", int),
+        ("confidence", "confidence", float),
+    )
+
+    async def results_changepoints(self, request: Request) -> Response:
+        """CUSUM stability verdicts per stored cell group."""
+        from repro.analysis import (
+            AnalysisOptions,
+            analyze_records,
+            verdict_rows,
+        )
+
+        overrides: Dict[str, Any] = {}
+        for param, field, convert in self._ANALYSIS_PARAMS:
+            text = request.param(param)
+            if text is None:
+                continue
+            try:
+                overrides[field] = convert(text)
+            except ValueError:
+                raise HttpError(400, f"malformed {param}={text!r}")
+        try:
+            options = AnalysisOptions(**overrides)
+        except ValueError as error:
+            raise HttpError(400, str(error))
+        filters = self._store_filters(request)
+        reader = self._reader()
+        if reader is None:
+            return self._respond(request, {"verdicts": [], "cells": 0})
+        with reader:
+            records = reader.query(**filters)
+        verdicts = verdict_rows(analyze_records(records, options=options))
+        return self._respond(
+            request, {"verdicts": verdicts, "cells": len(verdicts)}
+        )
+
     async def results_get(self, request: Request) -> Response:
+        """One stored cell by spec-hash prefix."""
         prefix = request.path_params["hash_prefix"]
         full = request.param("full", "0") not in ("0", "false", "no")
         reader = self._reader()

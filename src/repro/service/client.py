@@ -67,9 +67,11 @@ class ServiceClient:
     # -- endpoints ----------------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
+        """Fetch ``GET /healthz``."""
         return self._request("GET", "/healthz")
 
     def api_info(self) -> Dict[str, Any]:
+        """Fetch ``GET /api``."""
         return self._request("GET", "/api")
 
     def submit(self, body: Dict[str, Any]) -> Dict[str, Any]:
@@ -81,6 +83,7 @@ class ServiceClient:
         return self._request("POST", "/jobs", payload={"spec": spec})
 
     def submit_specs(self, specs: List[Dict[str, Any]]) -> Dict[str, Any]:
+        """Submit a list of run specs as one job."""
         return self._request("POST", "/jobs", payload={"specs": specs})
 
     def submit_grid(
@@ -97,15 +100,18 @@ class ServiceClient:
         return self._request("POST", "/jobs", payload=payload)
 
     def jobs(self) -> Dict[str, Any]:
+        """Fetch the job list."""
         return self._request("GET", "/jobs")
 
     def job(
         self, job_id: str, wait: Optional[float] = None
     ) -> Dict[str, Any]:
+        """Fetch one job view (``wait`` blocks until terminal)."""
         params = {} if wait is None else {"wait": wait}
         return self._request("GET", f"/jobs/{job_id}", params=params)
 
     def job_results(self, job_id: str, full: bool = False) -> Dict[str, Any]:
+        """Fetch a job's completed cells."""
         params = {"full": "1"} if full else {}
         return self._request("GET", f"/jobs/{job_id}/results", params=params)
 
@@ -126,6 +132,7 @@ class ServiceClient:
                     yield json.loads(line.decode("utf-8"))
 
     def query(self, **filters: Any) -> Dict[str, Any]:
+        """Filter stored cells by spec axes."""
         return self._request("GET", "/results/query", params=filters)
 
     def aggregate(
@@ -134,6 +141,7 @@ class ServiceClient:
         metrics: Optional[str] = None,
         **filters: Any,
     ) -> Dict[str, Any]:
+        """Fetch grouped statistics over stored cells."""
         params: Dict[str, Any] = {"by": by}
         if metrics is not None:
             params["metrics"] = metrics
@@ -141,6 +149,7 @@ class ServiceClient:
         return self._request("GET", "/results/aggregate", params=params)
 
     def result(self, hash_prefix: str, full: bool = False) -> Dict[str, Any]:
+        """Fetch one stored cell by hash prefix."""
         params = {"full": "1"} if full else {}
         return self._request(
             "GET", f"/results/{hash_prefix}", params=params

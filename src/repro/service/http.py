@@ -150,6 +150,7 @@ class Router:
         self._routes: List[Tuple[str, Tuple[str, ...], Handler]] = []
 
     def add(self, method: str, template: str, handler: Handler) -> None:
+        """Register a handler for a method and path template."""
         parts = tuple(template.strip("/").split("/")) if template.strip("/") else ()
         self._routes.append((method.upper(), parts, handler))
 
@@ -209,11 +210,13 @@ class HttpServer:
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def serve_forever(self) -> None:
+        """Serve requests until cancelled."""
         assert self._server is not None, "call start() first"
         async with self._server:
             await self._server.serve_forever()
 
     async def close(self) -> None:
+        """Close the listening socket and connections."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()

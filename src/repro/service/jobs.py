@@ -79,6 +79,7 @@ class Job:
     events: List[Dict[str, Any]] = field(default_factory=list)
 
     def add_event(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event to the job's bounded event log."""
         record: Dict[str, Any] = {
             "seq": len(self.events),
             "ts": time.time(),

@@ -145,15 +145,19 @@ class StructuredLogger:
                 pass  # a closed/capture stream must not kill the emitter
 
     def debug(self, event: str, message: Optional[str] = None, **fields: Any) -> None:
+        """Emit a DEBUG record."""
         self.log("debug", event, message, **fields)
 
     def info(self, event: str, message: Optional[str] = None, **fields: Any) -> None:
+        """Emit an INFO record."""
         self.log("info", event, message, **fields)
 
     def warning(self, event: str, message: Optional[str] = None, **fields: Any) -> None:
+        """Emit a WARNING record."""
         self.log("warning", event, message, **fields)
 
     def error(self, event: str, message: Optional[str] = None, **fields: Any) -> None:
+        """Emit an ERROR record."""
         self.log("error", event, message, **fields)
 
 

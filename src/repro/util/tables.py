@@ -51,9 +51,11 @@ def render_table(
             widths[idx] = max(widths[idx], len(cell))
 
     def line(char: str = "-", joint: str = "+") -> str:
+        """A horizontal rule matching the column widths."""
         return joint + joint.join(char * (w + 2) for w in widths) + joint
 
     def format_row(cells: Sequence[str]) -> str:
+        """One padded table row."""
         padded = (f" {cell:<{widths[idx]}} " for idx, cell in enumerate(cells))
         return "|" + "|".join(padded) + "|"
 

@@ -1,0 +1,325 @@
+"""Stability verdicts: cell grouping, edge cases, frontier, determinism."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.stability import (
+    STATUS_BREAKDOWN,
+    STATUS_INSUFFICIENT,
+    STATUS_STABLE,
+    AnalysisOptions,
+    StabilityVerdict,
+    analyze_records,
+    breakdown_frontier,
+    queue_total_series,
+    render_verdicts,
+    verdict_rows,
+)
+from repro.metrics.traces import QueueTrace
+
+N_SAMPLES = 200
+DT = 5.0
+
+
+class FakeSummary:
+    def __init__(self, delay_mode="aggregate"):
+        self.delay_mode = delay_mode
+
+
+class FakeResult:
+    """Traces + summary: all the analyzer reads from a run result."""
+
+    def __init__(self, queue_traces, delay_mode="aggregate"):
+        self.queue_traces = queue_traces
+        self.summary = FakeSummary(delay_mode)
+
+
+class FakeSpec:
+    """The spec axes the analyzer groups on."""
+
+    def __init__(
+        self,
+        pattern="steady-3x3",
+        controller="util-bp",
+        controller_params=(),
+        engine="meso-counts",
+        scenario_params=(),
+        seed=1,
+    ):
+        self.pattern = pattern
+        self.controller = controller
+        self.controller_params = controller_params
+        self.engine = engine
+        self.scenario_params = scenario_params
+        self.seed = seed
+
+
+def make_traces(values_per_road):
+    """Queue traces on the shared 5 s grid from per-road value lists."""
+    traces = {}
+    for road, values in enumerate(values_per_road):
+        trace = QueueTrace(road_id=f"IN:{road}")
+        for i, value in enumerate(values):
+            trace.sample(float(i) * DT, int(value))
+        traces[(f"J{road}", f"IN:{road}")] = trace
+    return traces
+
+
+def breakdown_traces(seed, n_roads=3, shift_at=120, magnitude=15):
+    """Per-road noisy queues that jump up at ``shift_at`` samples."""
+    rng = np.random.default_rng(seed)
+    roads = []
+    for _ in range(n_roads):
+        base = rng.integers(0, 4, size=N_SAMPLES)
+        base[shift_at:] += magnitude
+        roads.append(base.tolist())
+    return make_traces(roads)
+
+
+def stable_traces(seed, n_roads=3):
+    rng = np.random.default_rng(seed)
+    return make_traces(
+        [rng.integers(0, 4, size=N_SAMPLES).tolist() for _ in range(n_roads)]
+    )
+
+
+class TestQueueTotalSeries:
+    def test_sums_across_roads(self):
+        traces = make_traces([[1, 2, 3], [10, 10, 10]])
+        total = queue_total_series(FakeResult(traces))
+        assert total.values == [11.0, 12.0, 13.0]
+        assert total.times == [0.0, DT, 2 * DT]
+
+    def test_ragged_traces_truncate_to_shortest(self):
+        traces = make_traces([[1, 2, 3, 4], [5, 6]])
+        total = queue_total_series(FakeResult(traces))
+        assert total.values == [6.0, 8.0]
+
+    def test_no_traces_is_none(self):
+        assert queue_total_series(FakeResult({})) is None
+        assert queue_total_series(FakeResult(None)) is None
+
+    def test_empty_traces_is_none(self):
+        trace = QueueTrace(road_id="IN:0")
+        assert queue_total_series(FakeResult({("J", "IN:0"): trace})) is None
+
+
+class TestEdgeCases:
+    """The analyzer must classify, never raise, on degenerate stores."""
+
+    def test_constant_series_is_stable(self):
+        records = [
+            (FakeSpec(seed=s), FakeResult(make_traces([[5] * N_SAMPLES])))
+            for s in (1, 2)
+        ]
+        [verdict] = analyze_records(records)
+        assert verdict.status == STATUS_STABLE
+        assert verdict.n_analyzed == 2
+        assert verdict.onset is None
+
+    def test_all_zero_traces_are_stable(self):
+        records = [
+            (
+                FakeSpec(seed=1),
+                FakeResult(make_traces([[0] * N_SAMPLES, [0] * N_SAMPLES])),
+            )
+        ]
+        [verdict] = analyze_records(records)
+        assert verdict.status == STATUS_STABLE
+
+    def test_short_series_is_insufficient(self):
+        records = [(FakeSpec(seed=1), FakeResult(make_traces([[1, 2, 3]])))]
+        [verdict] = analyze_records(records)
+        assert verdict.status == STATUS_INSUFFICIENT
+        assert verdict.n_analyzed == 0
+        assert verdict.label() == "insufficient-data"
+
+    def test_missing_traces_are_insufficient(self):
+        records = [(FakeSpec(seed=1), FakeResult({}))]
+        [verdict] = analyze_records(records)
+        assert verdict.status == STATUS_INSUFFICIENT
+
+    def test_aggregate_delay_mode_passes_through(self):
+        records = [
+            (FakeSpec(seed=1), FakeResult(stable_traces(1), "aggregate"))
+        ]
+        [verdict] = analyze_records(records)
+        assert verdict.delay_mode == "aggregate"
+        assert verdict.status == STATUS_STABLE
+
+    def test_empty_input_is_empty_output(self):
+        assert analyze_records([]) == []
+
+
+class TestVerdicts:
+    def test_breakdown_with_onset_and_interval(self):
+        records = [
+            (FakeSpec(seed=s), FakeResult(breakdown_traces(s)))
+            for s in (1, 2, 3)
+        ]
+        [verdict] = analyze_records(records)
+        assert verdict.status == STATUS_BREAKDOWN
+        assert verdict.n_flagged == 3
+        # Onset near sample 120 on the 5 s grid, CI bracketing it.
+        assert 500.0 <= verdict.onset <= 700.0
+        assert verdict.onset_lo <= verdict.onset <= verdict.onset_hi
+        assert verdict.mean_shift > 30.0
+        assert verdict.label().startswith("breakdown@")
+        assert "[" in verdict.label()
+
+    def test_effect_size_floor_downgrades_small_shifts(self):
+        # A clear but tiny shift: significant, yet under the floor of
+        # min_shift_per_series x n_series vehicles.
+        records = [
+            (
+                FakeSpec(seed=s),
+                FakeResult(breakdown_traces(s, n_roads=3, magnitude=1)),
+            )
+            for s in (1, 2)
+        ]
+        [verdict] = analyze_records(
+            records, AnalysisOptions(min_shift_per_series=5.0)
+        )
+        assert verdict.status == STATUS_STABLE
+
+    def test_majority_rule(self):
+        # 1 of 2 analyzed flagged: not a strict majority -> stable.
+        records = [
+            (FakeSpec(seed=1), FakeResult(breakdown_traces(1))),
+            (FakeSpec(seed=2), FakeResult(stable_traces(2))),
+        ]
+        [verdict] = analyze_records(records)
+        assert verdict.status == STATUS_STABLE
+        assert (verdict.n_flagged, verdict.n_analyzed) == (1, 2)
+
+    def test_cells_group_and_sort_by_axes(self):
+        records = [
+            (FakeSpec(pattern="b", seed=1), FakeResult(stable_traces(1))),
+            (FakeSpec(pattern="a", seed=1), FakeResult(stable_traces(2))),
+            (FakeSpec(pattern="b", seed=2), FakeResult(stable_traces(3))),
+        ]
+        verdicts = analyze_records(records)
+        assert [v.pattern for v in verdicts] == ["a", "b"]
+        assert [v.n_runs for v in verdicts] == [1, 2]
+
+    def test_load_splits_cells(self):
+        records = [
+            (
+                FakeSpec(scenario_params=(("load", load),), seed=1),
+                FakeResult(stable_traces(1)),
+            )
+            for load in (0.8, 1.6)
+        ]
+        verdicts = analyze_records(records)
+        assert [v.load for v in verdicts] == [0.8, 1.6]
+
+    def test_rows_schema_and_render(self):
+        records = [(FakeSpec(seed=1), FakeResult(breakdown_traces(1)))]
+        verdicts = analyze_records(records)
+        [row] = verdict_rows(verdicts)
+        assert set(row) == {
+            "pattern",
+            "controller",
+            "controller_params",
+            "engine",
+            "delay_mode",
+            "load",
+            "status",
+            "verdict",
+            "n_runs",
+            "n_analyzed",
+            "n_flagged",
+            "onset",
+            "onset_lo",
+            "onset_hi",
+            "mean_shift",
+        }
+        json.dumps(row)  # plain-JSON payload, no numpy scalars
+        table = render_verdicts(verdicts)
+        assert "breakdown@" in table
+        assert "workload" in table
+
+    def test_byte_deterministic_across_analyses(self):
+        records = [
+            (FakeSpec(seed=s), FakeResult(breakdown_traces(s)))
+            for s in (1, 2)
+        ]
+        first = json.dumps(verdict_rows(analyze_records(records)))
+        second = json.dumps(verdict_rows(analyze_records(records)))
+        assert first == second
+
+
+class TestOptions:
+    def test_defaults_are_valid(self):
+        AnalysisOptions()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="warmup_fraction"):
+            AnalysisOptions(warmup_fraction=1.0)
+        with pytest.raises(ValueError, match="min_points"):
+            AnalysisOptions(min_points=1)
+        with pytest.raises(ValueError, match="min_shift_per_series"):
+            AnalysisOptions(min_shift_per_series=-0.1)
+
+    def test_warmup_discard_can_hide_an_early_shift(self):
+        # Shift inside the warm-up window: discarded, hence stable.
+        records = [
+            (
+                FakeSpec(seed=1),
+                FakeResult(breakdown_traces(1, shift_at=20)),
+            )
+        ]
+        [early] = analyze_records(
+            records, AnalysisOptions(warmup_fraction=0.5)
+        )
+        assert early.status == STATUS_STABLE
+
+
+class TestFrontier:
+    def _verdict(self, load, status, controller="util-bp"):
+        return StabilityVerdict(
+            pattern="steady-3x3",
+            controller=controller,
+            controller_params="-",
+            engine="meso-counts",
+            delay_mode="aggregate",
+            load=load,
+            status=status,
+            n_runs=2,
+            n_analyzed=2,
+            n_flagged=2 if status == STATUS_BREAKDOWN else 0,
+        )
+
+    def test_frontier_brackets_the_crossing(self):
+        verdicts = [
+            self._verdict(0.8, STATUS_STABLE),
+            self._verdict(1.2, STATUS_STABLE),
+            self._verdict(1.6, STATUS_BREAKDOWN),
+        ]
+        [row] = breakdown_frontier(verdicts)
+        assert row["max_stable_load"] == 1.2
+        assert row["min_breakdown_load"] == 1.6
+
+    def test_uncrossed_frontier_has_none_side(self):
+        [row] = breakdown_frontier([self._verdict(0.8, STATUS_STABLE)])
+        assert row["max_stable_load"] == 0.8
+        assert row["min_breakdown_load"] is None
+
+    def test_loadless_and_insufficient_cells_ignored(self):
+        verdicts = [
+            self._verdict(None, STATUS_STABLE),
+            self._verdict(1.0, STATUS_INSUFFICIENT),
+        ]
+        assert breakdown_frontier(verdicts) == []
+
+    def test_controllers_split_rows(self):
+        verdicts = [
+            self._verdict(1.6, STATUS_BREAKDOWN, controller="cap-bp"),
+            self._verdict(1.6, STATUS_STABLE, controller="util-bp"),
+        ]
+        rows = breakdown_frontier(verdicts)
+        assert [row["controller"] for row in rows] == ["cap-bp", "util-bp"]

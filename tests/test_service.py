@@ -456,3 +456,81 @@ class TestEndToEndContract:
             assert str(record.get("request_id", "")).startswith("req-"), (
                 f"log line lacks a request id: {record}"
             )
+
+
+class TestAnalysisEndpoint:
+    """GET /results/changepoints and the /api version report."""
+
+    def test_api_reports_versions_and_endpoints(self, service):
+        from repro.api import package_version
+
+        info = service.client._request("GET", "/api")
+        assert info["api_version"] == API_VERSION
+        assert info["package_version"] == package_version()
+        assert "GET /results/changepoints" in info["endpoints"]
+
+    def test_empty_store_yields_no_verdicts(self, service):
+        payload = service.client._request("GET", "/results/changepoints")
+        assert payload["verdicts"] == []
+        assert payload["cells"] == 0
+
+    def test_malformed_and_invalid_params_are_400(self, service):
+        for params in (
+            {"min_points": "abc"},
+            {"warmup_fraction": "2.0"},
+            {"permutations": "1.5"},
+        ):
+            with pytest.raises(ServiceError) as error:
+                service.client._request(
+                    "GET", "/results/changepoints", params=params
+                )
+            assert error.value.status == 400
+
+    def test_payload_matches_the_cli_analysis(self, tmp_path):
+        from repro.analysis import analyze_store, verdict_rows
+
+        store_path = tmp_path / "service.sqlite"
+        service = RunningService(store_path)
+        try:
+            grid = {
+                "scenarios": ["steady-4x4"],
+                "engines": ["meso-counts"],
+                "seeds": [1],
+                "durations": [300.0],
+                "record_entry_queues": 2,
+            }
+            job = service.client.submit_grid(grid)["job"]
+            done = service.client.job(job["job_id"], wait=120)["job"]
+            assert done["state"] == "done"
+
+            payload = service.client._request(
+                "GET", "/results/changepoints"
+            )
+            assert payload["cells"] == 1
+            [verdict] = payload["verdicts"]
+            assert verdict["pattern"] == "steady-4x4"
+            assert verdict["n_runs"] == 1
+            assert verdict["status"] in (
+                "stable", "breakdown", "insufficient-data",
+            )
+            # The service payload is exactly the CLI's verdict rows.
+            assert payload["verdicts"] == verdict_rows(
+                analyze_store(str(store_path))
+            )
+
+            # Detector overrides flow through: demanding more samples
+            # than the run recorded downgrades it to insufficient-data.
+            strict = service.client._request(
+                "GET", "/results/changepoints", params={"min_points": 10000}
+            )
+            assert strict["verdicts"][0]["status"] == "insufficient-data"
+
+            # Filters narrow the store query like /results/aggregate.
+            miss = service.client._request(
+                "GET",
+                "/results/changepoints",
+                params={"controller": "fixed-time"},
+            )
+            assert miss["cells"] == 0
+        finally:
+            service.stop()
